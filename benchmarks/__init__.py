@@ -1,0 +1,10 @@
+"""Benchmark harness regenerating every table and figure of the paper's §4.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Each ``bench_*.py`` file reproduces one table or figure; the resulting
+paper-vs-measured tables are printed at the end of the session and
+written to ``benchmarks/results/``.
+"""

@@ -1,0 +1,79 @@
+"""Figure 15: memory usage as a function of program size.
+
+Same sweep as Figure 14, measuring the analysis' modeled memory (the
+accounting of ``repro.reporting.memory``).  The paper's claim is the
+same low-order polynomial growth; for the memory model the relationship
+is structurally linear in nodes/edges/blocks, so the interesting
+measurement is bytes-per-block stability across scales.
+"""
+
+import math
+
+import pytest
+
+from benchmarks.conftest import record
+from repro.interproc.analysis import analyze_program
+from repro.workloads.generator import GeneratorConfig, generate_program
+from repro.workloads.shapes import shape_by_name
+
+SCALES = (0.05, 0.1, 0.2, 0.4)
+
+HEADERS = (
+    "Scale",
+    "Routines",
+    "Blocks",
+    "Instructions",
+    "Memory (MB)",
+    "bytes/block",
+)
+
+_POINTS = []
+
+
+@pytest.mark.parametrize("scale", SCALES)
+def test_fig15_point(benchmark, scale):
+    shape = shape_by_name("gcc").scaled(scale)
+    program = generate_program(shape, GeneratorConfig(seed=0))
+    analysis = benchmark.pedantic(
+        analyze_program, args=(program,), rounds=1, iterations=1
+    )
+    blocks = analysis.basic_block_count
+    memory = analysis.memory_bytes
+    _POINTS.append((blocks, memory))
+    record(
+        "Figure 15: memory vs program size (gcc-shaped sweep)",
+        HEADERS,
+        (
+            scale,
+            program.routine_count,
+            blocks,
+            program.instruction_count,
+            memory / 1e6,
+            memory / blocks,
+        ),
+    )
+    assert memory > 0
+
+
+def test_fig15_loglog_slope(benchmark):
+    def slope():
+        points = sorted(_POINTS)
+        if len(points) < 2:
+            pytest.skip("sweep points unavailable (run the whole file)")
+        xs = [math.log(b) for b, _m in points]
+        ys = [math.log(m) for _b, m in points]
+        n = len(xs)
+        mean_x = sum(xs) / n
+        mean_y = sum(ys) / n
+        return sum(
+            (x - mean_x) * (y - mean_y) for x, y in zip(xs, ys)
+        ) / sum((x - mean_x) ** 2 for x in xs)
+
+    k = benchmark.pedantic(slope, rounds=1, iterations=1)
+    record(
+        "Figure 15: memory vs program size (gcc-shaped sweep)",
+        HEADERS,
+        (f"log-log slope k={k:.2f}", "", "", "", "", ""),
+        note="Paper claim: memory grows near-linearly with program size.",
+    )
+    assert 0.8 < k < 1.3, f"memory scaling exponent {k:.2f} is not near-linear"

@@ -1,0 +1,75 @@
+"""Figure 1 / §1 claim: summary-enabled optimizations improve performance.
+
+The paper's introduction reports that the optimizations the summaries
+enable (dead-code elimination across calls/returns, spill removal,
+callee-saved reallocation) "consistently provide performance
+improvements of 5%-10%, and in some cases ... as much as 20%", with
+call overhead up to 16% of execution time on large applications
+[Cohn96].
+
+We regenerate the experiment end to end: run the Figure-1 optimization
+pipeline on executable stand-ins, verify observable behaviour is
+unchanged, and measure the reduction in dynamically executed
+instructions.
+"""
+
+import pytest
+
+from benchmarks.conftest import record
+from repro.opt.pipeline import optimize_program
+from repro.sim.cost_model import cycle_improvement
+from repro.workloads.generator import GeneratorConfig, generate_program
+from repro.workloads.shapes import shape_by_name
+
+#: Executable-sized stand-ins (the interpreter must run them).
+RUNNABLE = ["compress", "li", "go", "perl", "vortex", "maxeda"]
+
+HEADERS = (
+    "Benchmark",
+    "Static removed",
+    "Static %",
+    "Dyn instr before",
+    "Dyn instr after",
+    "Dyn improvement %",
+    "Cycle improvement %",
+    "realloc edits",
+    "spill edits",
+    "dce edits",
+)
+
+
+@pytest.mark.parametrize("name", RUNNABLE)
+def test_fig1_optimization_improvement(benchmark, name):
+    shape = shape_by_name(name).scaled(0.1)
+    program = generate_program(shape, GeneratorConfig(seed=0))
+    result = benchmark.pedantic(
+        optimize_program,
+        args=(program,),
+        kwargs={"verify": True},
+        rounds=1,
+        iterations=1,
+    )
+    assert result.behaviour_preserved()
+    by_pass = {report.name: report.total_edits for report in result.reports}
+    record(
+        "Figure 1 / §1: optimization improvement"
+        " (paper: 5-10% typical, up to 20%)",
+        HEADERS,
+        (
+            name,
+            result.instructions_removed,
+            100.0 * result.instructions_removed / program.instruction_count,
+            result.baseline_run.steps,
+            result.optimized_run.steps,
+            100.0 * result.dynamic_improvement,
+            100.0 * cycle_improvement(result.baseline_run, result.optimized_run),
+            by_pass.get("realloc", 0),
+            by_pass.get("spill", 0),
+            by_pass.get("dce", 0),
+        ),
+    )
+    # The paper's qualitative claim: a consistent, positive improvement.
+    # (The paper reports 5-10% wall-clock on real applications; our proxy
+    # is dynamic instruction count on synthetic stand-ins, which lands in
+    # the 1.5-8% band depending on how call-heavy the hot paths are.)
+    assert result.dynamic_improvement > 0.01

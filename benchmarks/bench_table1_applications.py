@@ -1,0 +1,32 @@
+"""Table 1: description of each PC application benchmark.
+
+The paper's Table 1 is a catalog of the eight commercial applications.
+This bench records the catalog together with the synthetic stand-in's
+size so the reader can see what each substituted workload looks like.
+"""
+
+import pytest
+
+from benchmarks.conftest import benchmark_program, record
+from repro.workloads.shapes import PC_APP_SHAPES
+
+HEADERS = ("PC App", "Description", "Routines", "Instructions", "Stand-in routines")
+
+
+@pytest.mark.parametrize("shape", PC_APP_SHAPES, ids=lambda s: s.name)
+def test_table1_row(benchmark, shape):
+    program, scaled = benchmark.pedantic(
+        benchmark_program, args=(shape.name,), rounds=1, iterations=1
+    )
+    record(
+        "Table 1: PC application benchmarks",
+        HEADERS,
+        (
+            shape.name,
+            shape.description,
+            shape.routines,
+            shape.instructions,
+            scaled.routines,
+        ),
+    )
+    assert program.routine_count == scaled.routines

@@ -1,0 +1,63 @@
+"""Table 3: benchmark characteristics influencing PSG size.
+
+Per-routine averages of exits, calls, branches, PSG nodes and PSG
+edges.  These statistics are scale-invariant (they are per-routine), so
+the scaled stand-ins are directly comparable with the paper's full-size
+numbers.
+"""
+
+import pytest
+
+from benchmarks.conftest import BENCHMARK_NAMES, benchmark_program, record
+from repro.interproc.analysis import analyze_program
+from repro.program.model import program_statistics
+from repro.workloads.shapes import shape_by_name
+
+HEADERS = (
+    "Benchmark",
+    "Exits/Rtn",
+    "(paper)",
+    "Calls/Rtn",
+    "(paper)",
+    "Branches/Rtn",
+    "(paper)",
+    "PSG Nodes/Rtn",
+    "(paper)",
+    "PSG Edges/Rtn",
+    "(paper)",
+)
+
+
+@pytest.mark.parametrize("name", BENCHMARK_NAMES)
+def test_table3_row(benchmark, name):
+    program, _scaled = benchmark_program(name)
+    shape = shape_by_name(name)
+    analysis = benchmark.pedantic(
+        analyze_program, args=(program,), rounds=1, iterations=1
+    )
+    stats = program_statistics(program)
+    routines = program.routine_count
+    exits = sum(len(cfg.exits) for cfg in analysis.cfgs.values()) / routines
+    averages = analysis.psg.per_routine_averages()
+    record(
+        "Table 3: per-routine characteristics (measured vs paper)",
+        HEADERS,
+        (
+            name,
+            exits,
+            shape.exits_per_routine,
+            stats["calls_per_routine"],
+            shape.calls_per_routine,
+            stats["branches_per_routine"],
+            shape.branches_per_routine,
+            averages["psg_nodes_per_routine"],
+            shape.paper_psg_nodes_per_routine,
+            averages["psg_edges_per_routine"],
+            shape.paper_psg_edges_per_routine,
+        ),
+    )
+    # Sanity: node accounting identity (entry + exits + 2*calls + branches).
+    calls = sum(len(cfg.call_sites) for cfg in analysis.cfgs.values())
+    branch_nodes = analysis.psg.branch_node_count
+    expected_nodes = routines + round(exits * routines) + 2 * calls + branch_nodes
+    assert analysis.psg.node_count == expected_nodes

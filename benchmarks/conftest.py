@@ -1,0 +1,101 @@
+"""Shared infrastructure for the paper-reproduction benchmarks.
+
+Every file in this directory regenerates one table or figure from §4 of
+the paper.  Benchmarks run on synthetic programs generated to the
+paper's published per-benchmark shapes (see ``repro.workloads``),
+scaled down by default so the whole harness completes in minutes on a
+Python host:
+
+* SPECint95 benchmarks run at scale ``REPRO_BENCH_SCALE_SPEC``
+  (default 0.25 — a quarter of the routine count);
+* PC applications run at scale ``REPRO_BENCH_SCALE_PC``
+  (default 0.04).
+
+Set the environment variables to ``1.0`` to run paper-sized inputs.
+Because the paper's own headline results are *per-routine* statistics,
+ratios and scaling exponents, they are scale-invariant; the absolute
+"Total Dataflow Time" column is the only scale-sensitive number and is
+reported alongside the configured scale.
+
+Each benchmark records rows into a named table; at the end of the
+session every table is printed and written to ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple
+
+import pytest
+
+from repro.program.model import Program
+from repro.reporting.tables import format_table
+from repro.workloads.generator import GeneratorConfig, generate_program
+from repro.workloads.shapes import ALL_SHAPES, BenchmarkShape, shape_by_name
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+SPEC_SCALE = float(os.environ.get("REPRO_BENCH_SCALE_SPEC", "0.25"))
+PC_SCALE = float(os.environ.get("REPRO_BENCH_SCALE_PC", "0.04"))
+
+#: All benchmark names in the paper's Table-2 row order.
+BENCHMARK_NAMES = [shape.name for shape in ALL_SHAPES]
+
+_TABLES: Dict[str, Tuple[Sequence[str], List[Sequence[object]], str]] = {}
+_PROGRAMS: Dict[str, Tuple[Program, BenchmarkShape]] = {}
+
+
+def scale_for(shape: BenchmarkShape) -> float:
+    return SPEC_SCALE if shape.suite == "SPECint95" else PC_SCALE
+
+
+def benchmark_program(name: str) -> Tuple[Program, BenchmarkShape]:
+    """The scaled program for ``name`` (cached per session)."""
+    if name not in _PROGRAMS:
+        shape = shape_by_name(name)
+        scaled = shape.scaled(scale_for(shape))
+        program = generate_program(scaled, GeneratorConfig(seed=0))
+        _PROGRAMS[name] = (program, scaled)
+    return _PROGRAMS[name]
+
+
+def record(
+    table: str, headers: Sequence[str], row: Sequence[object], note: str = ""
+) -> None:
+    """Append one row to a named output table."""
+    if table not in _TABLES:
+        _TABLES[table] = (headers, [], note)
+    _TABLES[table][1].append(row)
+
+
+@pytest.fixture()
+def program_and_shape(request) -> Tuple[Program, BenchmarkShape]:
+    """Parametrized fixture: (program, shape) for request.param."""
+    return benchmark_program(request.param)
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _TABLES:
+        return
+    RESULTS_DIR.mkdir(exist_ok=True)
+    write = terminalreporter.write_line
+    write("")
+    write("=" * 78)
+    write("Paper-reproduction tables (also written to benchmarks/results/)")
+    write(
+        f"scales: SPECint95 x{SPEC_SCALE}, PC Applications x{PC_SCALE} "
+        f"(set REPRO_BENCH_SCALE_SPEC / REPRO_BENCH_SCALE_PC)"
+    )
+    write("=" * 78)
+    for name, (headers, rows, note) in _TABLES.items():
+        text = format_table(headers, rows, title=name)
+        if note:
+            text += f"\n{note}"
+        write("")
+        for line in text.splitlines():
+            write(line)
+        stem = name.split(":")[0].strip().lower()
+        stem = "".join(c if c.isalnum() else "_" for c in stem).strip("_")
+        out_path = RESULTS_DIR / f"{stem}.txt"
+        out_path.write_text(text + "\n", encoding="utf-8")

@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Quickstart: assemble a two-routine program, analyze it, read summaries.
+
+This walks the full post-link pipeline on a tiny program:
+
+1. assemble Alpha-like source into an executable image (bytes);
+2. load + disassemble the image (the only thing Spike ever sees);
+3. run the interprocedural dataflow analysis;
+4. read the per-routine summaries — call-used / call-defined /
+   call-killed and live-at-entry / live-at-exit (§2 of the paper);
+5. execute the program in the interpreter to see it actually runs.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro import (
+    analyze_program,
+    assemble,
+    disassemble_image,
+    render_listing,
+    run_program,
+)
+from repro.program.image import ExecutableImage
+
+SOURCE = """
+.routine main export
+    lda  sp, -16(sp)
+    stq  ra, 0(sp)
+    li   a0, 5
+    bsr  ra, triple_plus_one
+    bis  zero, v0, a0
+    output                      ; observable: prints 16
+    ldq  ra, 0(sp)
+    lda  sp, 16(sp)
+    halt
+.routine triple_plus_one
+    addq a0, a0, t0             ; t0 = 2*a0
+    addq t0, a0, t0             ; t0 = 3*a0
+    addq t0, #1, v0             ; v0 = 3*a0 + 1
+    ret  (ra)
+"""
+
+
+def main() -> None:
+    # 1-2. Assemble and round-trip through the binary image format:
+    # everything downstream works from bytes, exactly like Spike.
+    image_bytes = assemble(SOURCE).to_bytes()
+    program = disassemble_image(ExecutableImage.from_bytes(image_bytes))
+
+    print("=== Disassembly (what the post-link optimizer sees) ===")
+    print(render_listing(program))
+
+    # 3. Interprocedural dataflow analysis (PSG + two phases).
+    analysis = analyze_program(program)
+
+    # 4. Read the summaries.
+    print("=== Routine summaries ===")
+    for name in program.routine_names():
+        summary = analysis.summary(name)
+        print(f"{name}:")
+        print(f"  call-used    = {summary.call_used!r}")
+        print(f"  call-defined = {summary.call_defined!r}")
+        print(f"  call-killed  = {summary.call_killed!r}")
+        print(f"  live-at-entry= {summary.live_at_entry!r}")
+        for block, mask in sorted(summary.exit_live_masks.items()):
+            from repro import RegisterSet
+
+            print(f"  live-at-exit[block {block}] = "
+                  f"{RegisterSet.from_mask(mask)!r}")
+    print()
+
+    # The call site in main carries the callee's summary: the
+    # call-summary instruction of §2.
+    site = analysis.summary("main").call_sites[0]
+    print(f"call to {site.site.callee!r} from main:")
+    print(f"  uses {site.used!r}, defines {site.defined!r}, "
+          f"kills {site.killed!r}")
+    print(f"  live before call: {site.live_before!r}")
+    print(f"  live after call:  {site.live_after!r}")
+    print()
+
+    # A concrete fact the analysis proves: the callee never touches t5,
+    # so a caller could keep a value there across the call (Figure 1c/1d).
+    from repro import Register
+
+    t5 = Register.parse("t5").index
+    print(f"t5 survives the call: {site.survives_call(t5)}")
+    print()
+
+    # 5. Execute.
+    result = run_program(program)
+    print(f"=== Execution: outputs={result.outputs}, "
+          f"steps={result.steps} ===")
+    assert result.outputs == [16]
+
+
+if __name__ == "__main__":
+    main()

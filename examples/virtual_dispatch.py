@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""Virtual dispatch and §3.5 call-target hints.
+
+The paper closes §3.5 with: *"dataflow accuracy can be improved if
+additional information is provided to Spike by the compiler or
+linker"* about indirect calls.  This example builds a little
+object-oriented program — a "shape" dispatch through a vtable-like
+pointer table — and shows what the analysis can and cannot prove:
+
+* **without** a hint, the dispatch is an unknown call: the calling
+  standard forces the analysis to assume every caller-saved register
+  is killed;
+* **with** the linker hint listing the two implementations, the
+  analysis combines their summaries (MAY by union, MUST by
+  intersection) and proves the dispatch touches almost nothing —
+  which in turn lets the optimizer keep values in scratch registers
+  across the call.
+
+It also demonstrates the summary sidecar: analyze once, persist, and
+reload bound to the image fingerprint.
+
+Run with:  python examples/virtual_dispatch.py
+"""
+
+import dataclasses
+
+from repro import Assembler, analyze_program, disassemble_image, run_program
+from repro.interproc.persist import (
+    dump_summaries,
+    image_fingerprint,
+    load_summaries,
+)
+
+
+def build_program():
+    asm = Assembler()
+    # The "vtable": one slot per implementation of area().
+    asm.data_code_pointers("shape_vtable", ["area_circle", "area_square"])
+
+    asm.routine("main", exported=True)
+    asm.li("a0", 6)                 # the shape's "radius/side"
+    asm.li("a1", 1)                 # which shape (1 = square)
+    # dispatch: pv = shape_vtable[a1]
+    asm.op("sll", "a1", 3, "t10")
+    asm.li("t11", "@shape_vtable")
+    asm.op("addq", "t11", "t10", "t11")
+    asm.memory("ldq", "pv", 0, "t11")
+    # This is the §3.5 hint: the linker knows the table's members.
+    asm.jsr("pv", hint_targets=["area_circle", "area_square"])
+    asm.op("bis", "zero", "v0", "a0")
+    asm.output()
+    asm.halt()
+
+    asm.routine("area_circle")      # ~ 3*r*r (integer "pi")
+    asm.op("mulq", "a0", "a0", "t0")
+    asm.op("mulq", "t0", 3, "v0")
+    asm.ret()
+
+    asm.routine("area_square")      # side*side
+    asm.op("mulq", "a0", "a0", "v0")
+    asm.ret()
+
+    return asm.build()
+
+
+def main() -> None:
+    image = build_program()
+    program = disassemble_image(image)
+
+    print("=== With the linker's call-target hint ===")
+    hinted = analyze_program(program)
+    site = hinted.summary("main").call_sites[0]
+    print(f"dispatch targets: {site.site.targets}")
+    print(f"  call-used:    {site.used!r}")
+    print(f"  call-defined: {site.defined!r}   (intersection of candidates)")
+    print(f"  call-killed:  {site.killed!r}   (union of candidates)")
+    from repro import Register
+
+    t5 = Register.parse("t5").index
+    print(f"  t5 survives the dispatch: {site.survives_call(t5)}")
+    print()
+
+    print("=== Same binary, hint stripped ===")
+    blind_program = dataclasses.replace(program, call_target_hints={})
+    blind = analyze_program(blind_program)
+    blind_site = blind.summary("main").call_sites[0]
+    print(f"dispatch targets: {blind_site.site.targets or '(unknown)'}")
+    print(f"  call-killed:  {blind_site.killed!r}")
+    print(f"  t5 survives the dispatch: {blind_site.survives_call(t5)}")
+    print()
+
+    killed_with = len(site.killed)
+    killed_without = len(blind_site.killed)
+    print(f"hint shrinks call-killed from {killed_without} to "
+          f"{killed_with} registers")
+    assert killed_with < killed_without
+    assert site.survives_call(t5) and not blind_site.survives_call(t5)
+
+    # Persist the summaries next to the binary, keyed to its content.
+    image_bytes = image.to_bytes()
+    sidecar = dump_summaries(hinted.result, image_fingerprint(image_bytes))
+    reloaded = load_summaries(sidecar, image_fingerprint(image_bytes))
+    assert reloaded.equal_summaries(hinted.result)
+    print(f"summary sidecar: {len(sidecar)} bytes, reload verified")
+    print()
+
+    result = run_program(program)
+    print(f"execution: a1=1 selects area_square(6) -> {result.outputs}")
+    assert result.outputs == [36]
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The project is fully described by ``pyproject.toml``; this file exists
+only so that ``pip install -e . --no-use-pep517`` works on environments
+without the ``wheel`` package (PEP-517 editable installs need it).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,42 @@
+"""Control-flow graphs over decoded routines.
+
+* :mod:`repro.cfg.cfg` — the per-routine CFG data structure: basic
+  blocks (ended by branches *and* by call instructions, as the paper
+  assumes), arcs, call sites and typed exits;
+* :mod:`repro.cfg.build` — CFG construction from a routine: leader
+  analysis, jump-table-driven multiway branches, and resolution of
+  indirect-call targets by backward constant tracking;
+* :mod:`repro.cfg.callgraph` — the interprocedural call graph plus the
+  escape analysis that decides which routines may be called from
+  unknown call sites;
+* :mod:`repro.cfg.subgraph` — reachability utilities used to carve the
+  per-flow-summary-edge CFG subgraphs of §3.1.
+"""
+
+from repro.cfg.cfg import (
+    BasicBlock,
+    CallSite,
+    CfgError,
+    ControlFlowGraph,
+    ExitKind,
+    TerminatorKind,
+)
+from repro.cfg.build import build_cfg, build_all_cfgs, resolve_register_constant
+from repro.cfg.callgraph import CallGraph, build_call_graph
+from repro.cfg.subgraph import backward_reachable, forward_reachable
+
+__all__ = [
+    "BasicBlock",
+    "CallGraph",
+    "CallSite",
+    "CfgError",
+    "ControlFlowGraph",
+    "ExitKind",
+    "TerminatorKind",
+    "backward_reachable",
+    "build_all_cfgs",
+    "build_call_graph",
+    "build_cfg",
+    "forward_reachable",
+    "resolve_register_constant",
+]

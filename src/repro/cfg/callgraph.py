@@ -1,0 +1,247 @@
+"""The interprocedural call graph.
+
+Built on top of the per-routine CFGs, the call graph records, for every
+routine, who calls it and from which call sites; which call sites have
+unknown targets (and therefore use the §3.5 calling-standard
+assumptions); and which routines are *externally callable* — exported
+from the image, address-taken (their entry address escapes into memory
+or past a block boundary, so an unresolved indirect call might reach
+them), or the program entry itself.  Externally callable routines get
+conservative live-at-exit seeds during phase 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.isa.instructions import ControlKind, Opcode
+from repro.isa.registers import ZERO_REGISTER
+from repro.program.model import Program
+from repro.cfg.cfg import CallSite, ControlFlowGraph
+from repro.cfg.build import build_all_cfgs
+
+
+@dataclass
+class CallGraph:
+    """Call relationships among the routines of one program."""
+
+    program: Program
+    cfgs: Dict[str, ControlFlowGraph]
+    #: callee name -> [(caller name, call site), ...] for resolved sites.
+    callers: Dict[str, List[Tuple[str, CallSite]]]
+    #: call sites whose target could not be resolved.
+    unknown_sites: List[Tuple[str, CallSite]]
+    #: routines whose entry address escapes.
+    address_taken: Set[str]
+    #: routines that may be entered from outside the analysis' view.
+    externally_callable: Set[str]
+
+    def callees_of(self, caller: str) -> List[str]:
+        """Every possible target of every call site in ``caller``.
+
+        Multi-target (hinted) sites contribute each of their targets;
+        unknown sites contribute nothing.
+        """
+        names: List[str] = []
+        for site in self.cfgs[caller].call_sites:
+            names.extend(site.targets)
+        return names
+
+    def call_sites_of(self, caller: str) -> Sequence[CallSite]:
+        return self.cfgs[caller].call_sites
+
+    def callers_of(self, callee: str) -> List[Tuple[str, CallSite]]:
+        return self.callers.get(callee, [])
+
+    @property
+    def routine_names(self) -> List[str]:
+        return self.program.routine_names()
+
+    # ------------------------------------------------------------------
+    # Orderings
+    # ------------------------------------------------------------------
+
+    def strongly_connected_components(self) -> List[List[str]]:
+        """Tarjan SCCs of the call graph, in reverse topological order.
+
+        Each returned component lists routines that (transitively) call
+        each other; components appear callees-first, so processing them
+        in order lets phase 1 converge with few worklist revisits even
+        in the presence of recursion.
+        """
+        names = self.routine_names
+        successors: Dict[str, List[str]] = {
+            name: self.callees_of(name) for name in names
+        }
+        index_of: Dict[str, int] = {}
+        lowlink: Dict[str, int] = {}
+        on_stack: Set[str] = set()
+        stack: List[str] = []
+        components: List[List[str]] = []
+        counter = [0]
+
+        for root in names:
+            if root in index_of:
+                continue
+            # Iterative Tarjan to survive deep call chains.
+            work: List[Tuple[str, int]] = [(root, 0)]
+            while work:
+                node, child_index = work.pop()
+                if child_index == 0:
+                    index_of[node] = lowlink[node] = counter[0]
+                    counter[0] += 1
+                    stack.append(node)
+                    on_stack.add(node)
+                recurse = False
+                children = successors[node]
+                while child_index < len(children):
+                    child = children[child_index]
+                    child_index += 1
+                    if child not in index_of:
+                        work.append((node, child_index))
+                        work.append((child, 0))
+                        recurse = True
+                        break
+                    if child in on_stack:
+                        lowlink[node] = min(lowlink[node], index_of[child])
+                if recurse:
+                    continue
+                if lowlink[node] == index_of[node]:
+                    component: List[str] = []
+                    while True:
+                        member = stack.pop()
+                        on_stack.discard(member)
+                        component.append(member)
+                        if member == node:
+                            break
+                    components.append(component)
+                if work:
+                    parent = work[-1][0]
+                    lowlink[parent] = min(lowlink[parent], lowlink[node])
+        return components
+
+    def reverse_topological_order(self) -> List[str]:
+        """Routines ordered callees-before-callers (SCCs flattened)."""
+        order: List[str] = []
+        for component in self.strongly_connected_components():
+            order.extend(component)
+        return order
+
+
+def build_call_graph(
+    program: Program, cfgs: Optional[Dict[str, ControlFlowGraph]] = None
+) -> CallGraph:
+    """Construct the call graph (building CFGs if not supplied)."""
+    if cfgs is None:
+        cfgs = build_all_cfgs(program)
+    callers: Dict[str, List[Tuple[str, CallSite]]] = {}
+    unknown_sites: List[Tuple[str, CallSite]] = []
+    for name, cfg in cfgs.items():
+        for site in cfg.call_sites:
+            if site.is_unknown:
+                unknown_sites.append((name, site))
+                continue
+            for target in site.targets:
+                if target not in cfgs:
+                    raise KeyError(
+                        f"{name!r} calls unknown routine {target!r}"
+                    )
+                callers.setdefault(target, []).append((name, site))
+    address_taken = find_address_taken(program)
+    externally_callable = (
+        {routine.name for routine in program.exported_routines()}
+        | address_taken
+        | {program.entry}
+    )
+    return CallGraph(
+        program=program,
+        cfgs=cfgs,
+        callers=callers,
+        unknown_sites=unknown_sites,
+        address_taken=address_taken,
+        externally_callable=externally_callable,
+    )
+
+
+def find_address_taken(program: Program) -> Set[str]:
+    """Routines whose entry address escapes.
+
+    Runs a forward constant pass over every basic-block-shaped region
+    (straight-line runs between terminators suffice: constants are
+    killed at joins by construction here, which is conservative in the
+    escape direction).  A routine-entry constant escapes when it is
+    stored to memory, used by a non-address instruction, or still held
+    in a register when the straight-line run ends — unless its only use
+    is the indirect call it feeds (a resolved ``jsr`` does not take the
+    address).
+    """
+    entries = {routine.address: routine.name for routine in program}
+    escaped: Set[str] = set()
+    for routine in program:
+        constants: Dict[int, int] = {}
+        for instruction in routine.instructions:
+            opcode = instruction.opcode
+            control = opcode.control
+            uses = instruction.uses()
+            defs = instruction.defs()
+            if opcode is Opcode.LDA or opcode is Opcode.LDAH:
+                shift = 16 if opcode is Opcode.LDAH else 0
+                base = instruction.rb
+                if base == ZERO_REGISTER:
+                    value: Optional[int] = instruction.displacement << shift
+                elif base in constants:
+                    value = constants[base] + (instruction.displacement << shift)
+                else:
+                    value = None
+                _kill(constants, defs)
+                if value is not None:
+                    constants[instruction.ra] = value
+                continue
+            if (
+                opcode is Opcode.BIS
+                and instruction.literal is None
+                and ZERO_REGISTER in (instruction.ra, instruction.rb)
+            ):
+                source = (
+                    instruction.rb
+                    if instruction.ra == ZERO_REGISTER
+                    else instruction.ra
+                )
+                value = constants.get(source)
+                _kill(constants, defs)
+                if value is not None:
+                    constants[instruction.rc] = value
+                continue
+            if control in (ControlKind.CALL_DIRECT, ControlKind.CALL_INDIRECT):
+                # The call target register is consumed, not escaped; but a
+                # call clobbers temporaries, so drop everything (sound:
+                # dropping can only *under*-track, and untracked registers
+                # were already counted as escapes below at their creation?
+                # No: escape happens at *use* or *run end*; a constant that
+                # survives a call still sits in `constants`, so clear and
+                # treat survivors as escaping).
+                for register, value in constants.items():
+                    if register != instruction.rb and value in entries:
+                        escaped.add(entries[value])
+                constants.clear()
+                continue
+            # Any other use of a register holding a routine entry escapes it.
+            for register in uses:
+                value = constants.get(register)
+                if value is not None and value in entries:
+                    escaped.add(entries[value])
+            _kill(constants, defs)
+            if control != ControlKind.FALLTHROUGH:
+                # Block boundary: surviving entry constants could flow to a
+                # join where we stop tracking them.
+                for value in constants.values():
+                    if value in entries:
+                        escaped.add(entries[value])
+                constants.clear()
+    return escaped
+
+
+def _kill(constants: Dict[int, int], defs) -> None:
+    for register in defs:
+        constants.pop(register, None)

@@ -1,0 +1,72 @@
+"""Reachability utilities for carving flow-summary-edge subgraphs.
+
+A flow-summary edge ``(N_X, N_Y)`` represents every control-flow path
+from location X to location Y that does not pass *through* another PSG
+boundary (a call instruction, or — when branch nodes are enabled — a
+multiway branch).  Because basic blocks end exactly at those
+boundaries, a path may *enter* a boundary block but never continue out
+of it: the boundary block's outgoing arcs are cut.
+
+The subgraph of the CFG represented by the edge (Figure 5 of the paper)
+is therefore::
+
+    forward_reachable(starts(X))  ∩  backward_reachable(target(Y))
+
+computed over the cut graph.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Set
+
+from repro.cfg.cfg import BasicBlock
+
+
+def forward_reachable(
+    blocks: Sequence[BasicBlock],
+    starts: Iterable[int],
+    blocked: Set[int],
+) -> Set[int]:
+    """Blocks reachable from ``starts`` without leaving a blocked block.
+
+    A block in ``blocked`` may be *reached* (it can be the endpoint of a
+    path) but its outgoing arcs are never traversed.
+    """
+    reached: Set[int] = set()
+    stack: List[int] = []
+    for start in starts:
+        if start not in reached:
+            reached.add(start)
+            stack.append(start)
+    while stack:
+        index = stack.pop()
+        if index in blocked:
+            continue
+        for successor in blocks[index].successors:
+            if successor not in reached:
+                reached.add(successor)
+                stack.append(successor)
+    return reached
+
+
+def backward_reachable(
+    blocks: Sequence[BasicBlock],
+    target: int,
+    blocked: Set[int],
+) -> Set[int]:
+    """Blocks from which ``target`` is reachable in the cut graph.
+
+    An arc ``u -> v`` is traversable only when ``u`` is not blocked, so
+    a blocked block can end a path at ``target`` only by *being*
+    ``target``.
+    """
+    reached: Set[int] = {target}
+    stack: List[int] = [target]
+    while stack:
+        index = stack.pop()
+        for predecessor in blocks[index].predecessors:
+            if predecessor in blocked or predecessor in reached:
+                continue
+            reached.add(predecessor)
+            stack.append(predecessor)
+    return reached

@@ -1,0 +1,235 @@
+"""Command-line interface: ``spike-analyze``.
+
+Subcommands:
+
+* ``analyze <image>`` — run the interprocedural dataflow analysis on a
+  SAX executable image and print per-routine summaries plus the §4
+  measurements (sizes, stage times, memory);
+* ``disasm <image>`` — print a disassembly listing;
+* ``generate <benchmark> -o <image>`` — write a synthetic benchmark
+  image (see :mod:`repro.workloads`);
+* ``optimize <image> -o <image>`` — run the Figure-1 optimization
+  pipeline and write the rewritten image;
+* ``run <image>`` — execute an image in the interpreter.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.dataflow.regset import RegisterSet
+from repro.interproc.analysis import analyze_image
+from repro.interproc.persist import (
+    dump_summaries,
+    image_fingerprint,
+    load_summaries,
+)
+from repro.opt.pipeline import optimize_program
+from repro.program.disasm import disassemble_image, render_listing
+from repro.program.image import ExecutableImage
+from repro.program.rewrite import program_to_image
+from repro.reporting.annotate import render_annotated_listing
+from repro.reporting.dot import psg_to_dot
+from repro.sim.interpreter import run_program
+from repro.workloads.generator import GeneratorConfig, generate_image
+from repro.workloads.shapes import ALL_SHAPES, shape_by_name
+
+
+def _load(path: str) -> ExecutableImage:
+    with open(path, "rb") as handle:
+        return ExecutableImage.from_bytes(handle.read())
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    with open(args.image, "rb") as handle:
+        image_bytes = handle.read()
+    analysis = analyze_image(ExecutableImage.from_bytes(image_bytes))
+    program = analysis.program
+    print(f"routines:      {program.routine_count}")
+    print(f"instructions:  {program.instruction_count}")
+    print(f"basic blocks:  {analysis.basic_block_count}")
+    print(f"cfg arcs:      {analysis.cfg_arc_count}")
+    print(f"psg nodes:     {analysis.psg.node_count}")
+    print(f"psg edges:     {analysis.psg.edge_count}")
+    print(f"memory model:  {analysis.memory_bytes / 1e6:.2f} MB")
+    timings = analysis.timings
+    print(f"total time:    {timings.total:.3f} s")
+    for stage, fraction in timings.fractions().items():
+        print(f"  {stage:<16}{getattr(timings, stage):.3f} s  ({fraction:5.1%})")
+    if args.routines:
+        print()
+        for name in args.routines:
+            summary = analysis.summary(name)
+            print(f"{name}:")
+            print(f"  call-used:     {summary.call_used!r}")
+            print(f"  call-defined:  {summary.call_defined!r}")
+            print(f"  call-killed:   {summary.call_killed!r}")
+            print(f"  live-at-entry: {summary.live_at_entry!r}")
+            for block, mask in sorted(summary.exit_live_masks.items()):
+                live = RegisterSet.from_mask(mask)
+                print(f"  live-at-exit[block {block}]: {live!r}")
+    if args.annotate:
+        print()
+        print(render_annotated_listing(analysis, args.routines or None))
+    if args.save_summaries:
+        blob = dump_summaries(
+            analysis.result, image_fingerprint(image_bytes)
+        )
+        with open(args.save_summaries, "wb") as handle:
+            handle.write(blob)
+        print(f"wrote summaries to {args.save_summaries}")
+    if args.dot:
+        with open(args.dot, "w", encoding="utf-8") as handle:
+            handle.write(psg_to_dot(analysis.psg, routine=args.dot_routine))
+        print(f"wrote PSG dot to {args.dot}")
+    return 0
+
+
+def _cmd_disasm(args: argparse.Namespace) -> int:
+    print(render_listing(disassemble_image(_load(args.image))))
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    shape = shape_by_name(args.benchmark)
+    if args.scale != 1.0:
+        shape = shape.scaled(args.scale)
+    image = generate_image(shape, GeneratorConfig(seed=args.seed))
+    with open(args.output, "wb") as handle:
+        handle.write(image.to_bytes())
+    print(
+        f"wrote {args.output}: {len(image.symbols)} routines, "
+        f"{image.instruction_count} instructions"
+    )
+    return 0
+
+
+def _cmd_optimize(args: argparse.Namespace) -> int:
+    program = disassemble_image(_load(args.image))
+    result = optimize_program(program, verify=args.verify)
+    for report in result.reports:
+        print(
+            f"{report.name}: {report.routines_changed} routines, "
+            f"{report.instructions_deleted} deleted, "
+            f"{report.instructions_rewritten} rewritten"
+        )
+    print(f"instructions removed: {result.instructions_removed}")
+    if args.verify:
+        print(f"dynamic improvement: {result.dynamic_improvement:.1%}")
+    with open(args.output, "wb") as handle:
+        handle.write(program_to_image(result.optimized).to_bytes())
+    print(f"wrote {args.output}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    program = disassemble_image(_load(args.image))
+    result = run_program(program, max_steps=args.max_steps)
+    for value in result.outputs:
+        print(value)
+    print(f"# steps={result.steps} exit={result.exit_value}")
+    return 0
+
+
+def _cmd_summaries(args: argparse.Namespace) -> int:
+    with open(args.sidecar, "rb") as handle:
+        result = load_summaries(handle.read())
+    for name in sorted(result.summaries):
+        summary = result.summaries[name]
+        print(f"{name}:")
+        print(f"  call-used:     {summary.call_used!r}")
+        print(f"  call-defined:  {summary.call_defined!r}")
+        print(f"  call-killed:   {summary.call_killed!r}")
+        print(f"  live-at-entry: {summary.live_at_entry!r}")
+        print(f"  call sites:    {len(summary.call_sites)}")
+    return 0
+
+
+def _cmd_benchmarks(_args: argparse.Namespace) -> int:
+    for shape in ALL_SHAPES:
+        print(
+            f"{shape.name:<10} {shape.suite:<16} {shape.routines:>7} routines  "
+            f"{shape.instructions:>9} instructions   {shape.description}"
+        )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="spike-analyze",
+        description=(
+            "Interprocedural register dataflow analysis for SAX executables "
+            "(reproduction of Goodwin, PLDI 1997)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    analyze = sub.add_parser("analyze", help="analyze an executable image")
+    analyze.add_argument("image")
+    analyze.add_argument(
+        "-r", "--routine", dest="routines", action="append", default=[],
+        help="print the summary of this routine (repeatable)",
+    )
+    analyze.add_argument(
+        "--annotate", action="store_true",
+        help="print a paper-style listing with summaries inline",
+    )
+    analyze.add_argument(
+        "--save-summaries", metavar="FILE",
+        help="write a summary sidecar bound to the image's fingerprint",
+    )
+    analyze.add_argument(
+        "--dot", metavar="FILE", help="write the PSG as a Graphviz digraph"
+    )
+    analyze.add_argument(
+        "--dot-routine", metavar="NAME", default=None,
+        help="restrict --dot to one routine",
+    )
+    analyze.set_defaults(func=_cmd_analyze)
+
+    disasm = sub.add_parser("disasm", help="disassemble an image")
+    disasm.add_argument("image")
+    disasm.set_defaults(func=_cmd_disasm)
+
+    generate = sub.add_parser("generate", help="generate a benchmark image")
+    generate.add_argument("benchmark", help="benchmark name (see 'benchmarks')")
+    generate.add_argument("-o", "--output", required=True)
+    generate.add_argument("--scale", type=float, default=1.0)
+    generate.add_argument("--seed", type=int, default=0)
+    generate.set_defaults(func=_cmd_generate)
+
+    optimize = sub.add_parser("optimize", help="optimize an image")
+    optimize.add_argument("image")
+    optimize.add_argument("-o", "--output", required=True)
+    optimize.add_argument(
+        "--verify", action="store_true",
+        help="execute before/after and compare observable behaviour",
+    )
+    optimize.set_defaults(func=_cmd_optimize)
+
+    run = sub.add_parser("run", help="execute an image in the interpreter")
+    run.add_argument("image")
+    run.add_argument("--max-steps", type=int, default=5_000_000)
+    run.set_defaults(func=_cmd_run)
+
+    summaries = sub.add_parser(
+        "summaries", help="dump a summary sidecar written by analyze"
+    )
+    summaries.add_argument("sidecar")
+    summaries.set_defaults(func=_cmd_summaries)
+
+    benchmarks = sub.add_parser("benchmarks", help="list known benchmarks")
+    benchmarks.set_defaults(func=_cmd_benchmarks)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

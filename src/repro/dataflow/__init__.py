@@ -1,0 +1,33 @@
+"""Dataflow foundations: register sets, local sets, and solvers.
+
+* :mod:`repro.dataflow.regset` — immutable register sets backed by int
+  bitmasks (the "bit vector" of classic dataflow); all analyses
+  manipulate raw masks in their inner loops and expose
+  :class:`RegisterSet` at API boundaries.
+* :mod:`repro.dataflow.local` — per-basic-block DEF and UBD
+  (used-before-defined) sets, the paper's "Initialization" stage.
+* :mod:`repro.dataflow.solver` — a generic iterative worklist solver for
+  monotone bit-vector problems over arbitrary graphs.
+* :mod:`repro.dataflow.equations` — the Figure-6 backward equations that
+  label flow-summary edges (MAY-USE / MAY-DEF / MUST-DEF over a CFG
+  subgraph).
+* :mod:`repro.dataflow.liveness` — conventional intraprocedural liveness,
+  used by the optimizer clients once call-summary information is
+  available.
+"""
+
+from repro.dataflow.regset import RegisterSet, EMPTY_SET, UNIVERSE
+from repro.dataflow.local import LocalSets, compute_local_sets
+from repro.dataflow.solver import WorklistSolver
+from repro.dataflow.equations import SummaryTriple, solve_summary_subgraph
+
+__all__ = [
+    "EMPTY_SET",
+    "LocalSets",
+    "RegisterSet",
+    "SummaryTriple",
+    "UNIVERSE",
+    "WorklistSolver",
+    "compute_local_sets",
+    "solve_summary_subgraph",
+]

@@ -1,0 +1,147 @@
+"""A generic iterative worklist solver.
+
+All of the paper's dataflow problems — the Figure-6 equations over
+flow-summary-edge subgraphs, the two interprocedural phases over the
+PSG, the full-CFG baseline, and the client-side liveness used by the
+optimizer — are monotone bit-vector problems.  This module provides one
+worklist engine for them.
+
+The solver is *backward* oriented (information flows against the
+arcs, as in every analysis in the paper): for each node ``n``,
+
+.. code-block:: none
+
+    OUT[n] = combine(IN[s] for s in successors(n))   (boundary if none)
+    IN[n]  = transfer(n, OUT[n])
+
+States are arbitrary hashable values supplied by the client (in
+practice tuples of int masks).  Nodes whose ``IN`` changes push their
+predecessors back onto the worklist; the engine iterates to a fixed
+point.  Forward problems are solved by handing the solver the reversed
+edge set.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Generic, Iterable, List, Optional, Sequence, Tuple, TypeVar
+
+State = TypeVar("State")
+
+Transfer = Callable[[int, State], State]
+Combine = Callable[[Sequence[State]], State]
+
+
+class SolverDivergence(RuntimeError):
+    """Raised when the iteration count exceeds the safety bound.
+
+    A correct monotone problem over a finite lattice cannot diverge;
+    hitting this bound indicates a non-monotone transfer function.
+    """
+
+
+class WorklistSolver(Generic[State]):
+    """Worklist fixed-point engine over an explicit digraph.
+
+    Parameters
+    ----------
+    node_count:
+        Number of nodes; nodes are the ints ``0 .. node_count-1``.
+    edges:
+        Directed edges ``(src, dst)``.  Information flows from ``dst``
+        (successor) to ``src`` (predecessor), i.e. backward.
+    """
+
+    def __init__(self, node_count: int, edges: Iterable[Tuple[int, int]]) -> None:
+        self._node_count = node_count
+        self._successors: List[List[int]] = [[] for _ in range(node_count)]
+        self._predecessors: List[List[int]] = [[] for _ in range(node_count)]
+        for src, dst in edges:
+            if not (0 <= src < node_count and 0 <= dst < node_count):
+                raise ValueError(f"edge ({src}, {dst}) out of range")
+            self._successors[src].append(dst)
+            self._predecessors[dst].append(src)
+
+    @property
+    def node_count(self) -> int:
+        return self._node_count
+
+    def successors(self, node: int) -> Sequence[int]:
+        return self._successors[node]
+
+    def predecessors(self, node: int) -> Sequence[int]:
+        return self._predecessors[node]
+
+    def solve(
+        self,
+        transfer: Transfer,
+        combine: Combine,
+        boundary: State,
+        initial: State,
+        order: Optional[Sequence[int]] = None,
+        max_passes: int = 10_000_000,
+    ) -> List[State]:
+        """Iterate to a fixed point; returns the ``IN`` state per node.
+
+        ``boundary`` is the OUT value for nodes with no successors;
+        ``initial`` seeds every node's IN.  ``order`` optionally gives
+        the initial worklist order (e.g. postorder for fast backward
+        convergence); all nodes are seeded regardless.
+        """
+        states: List[State] = [initial] * self._node_count
+        seed = list(order) if order is not None else list(range(self._node_count))
+        if len(set(seed)) != self._node_count:
+            raise ValueError("order must enumerate every node exactly once")
+        worklist: deque = deque(seed)
+        queued = [True] * self._node_count
+        passes = 0
+        while worklist:
+            passes += 1
+            if passes > max_passes:
+                raise SolverDivergence(
+                    f"no fixed point after {max_passes} node visits"
+                )
+            node = worklist.popleft()
+            queued[node] = False
+            successor_states = [states[s] for s in self._successors[node]]
+            out_state = combine(successor_states) if successor_states else boundary
+            new_state = transfer(node, out_state)
+            if new_state != states[node]:
+                states[node] = new_state
+                for predecessor in self._predecessors[node]:
+                    if not queued[predecessor]:
+                        queued[predecessor] = True
+                        worklist.append(predecessor)
+        return states
+
+
+def postorder(
+    node_count: int, successors: Sequence[Sequence[int]], roots: Iterable[int]
+) -> List[int]:
+    """Iterative DFS postorder from ``roots`` (unreached nodes appended).
+
+    Backward analyses converge fastest when seeded in postorder of the
+    forward graph (so successors are processed before predecessors).
+    """
+    visited = [False] * node_count
+    order: List[int] = []
+    for root in roots:
+        if visited[root]:
+            continue
+        stack: List[Tuple[int, int]] = [(root, 0)]
+        visited[root] = True
+        while stack:
+            node, child = stack[-1]
+            if child < len(successors[node]):
+                stack[-1] = (node, child + 1)
+                next_node = successors[node][child]
+                if not visited[next_node]:
+                    visited[next_node] = True
+                    stack.append((next_node, 0))
+            else:
+                stack.pop()
+                order.append(node)
+    for node in range(node_count):
+        if not visited[node]:
+            order.append(node)
+    return order

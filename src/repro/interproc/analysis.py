@@ -1,0 +1,243 @@
+"""The top-level interprocedural dataflow driver.
+
+Runs the five-stage pipeline the paper times in §4:
+
+1. **CFG Build** — decode (when starting from an image), build the
+   per-routine CFGs and the call graph;
+2. **Initialization** — generate each block's DEF and UBD sets and
+   detect saved/restored callee-saved registers;
+3. **PSG Build** — construct the Program Summary Graph and label its
+   flow-summary edges (Figure 6);
+4. **Phase 1** — call-used / call-defined / call-killed (Figure 8);
+5. **Phase 2** — live-at-entry / live-at-exit (Figure 10).
+
+The result bundles the per-routine summaries with the structures and
+measurements every experiment in the paper reports: PSG/CFG sizes,
+per-stage times, and model-based memory usage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.isa.calling_convention import CallingConvention, NT_ALPHA
+from repro.program.image import ExecutableImage
+from repro.program.model import Program
+from repro.program.disasm import disassemble_image
+from repro.cfg.build import build_all_cfgs
+from repro.cfg.callgraph import CallGraph, build_call_graph
+from repro.cfg.cfg import ControlFlowGraph
+from repro.dataflow.local import LocalSets, compute_local_sets
+from repro.dataflow.regset import mask_of
+from repro.psg.build import PsgConfig, build_psg
+from repro.psg.graph import ProgramSummaryGraph
+from repro.interproc.phase1 import Phase1Result, run_phase1
+from repro.interproc.phase2 import Phase2Result, run_phase2
+from repro.interproc.savedregs import saved_restored_registers
+from repro.interproc.summaries import (
+    AnalysisResult,
+    CallSiteSummary,
+    RoutineSummary,
+)
+from repro.reporting.memory import MemoryModel, psg_analysis_memory
+from repro.reporting.metrics import StageTimer, StageTimings
+
+
+@dataclass(frozen=True)
+class AnalysisConfig:
+    """Options for one analysis run."""
+
+    psg: PsgConfig = field(default_factory=PsgConfig)
+    convention: CallingConvention = field(default_factory=lambda: NT_ALPHA)
+    memory_model: MemoryModel = field(default_factory=MemoryModel)
+    #: §3.4 callee-saved filtering.  Disabling it (ablation only) makes
+    #: every save/restore pair leak into the callers' call-used /
+    #: call-killed sets; results remain sound but much less useful.
+    callee_saved_filtering: bool = True
+
+
+@dataclass
+class InterproceduralAnalysis:
+    """Everything produced by one analysis run.
+
+    ``result`` holds the per-routine summaries; the remaining fields
+    expose the intermediate structures (CFGs, call graph, PSG, raw
+    phase solutions) and the §4 measurements (timings, memory).
+    """
+
+    program: Program
+    config: AnalysisConfig
+    cfgs: Dict[str, ControlFlowGraph]
+    call_graph: CallGraph
+    local_sets: Dict[str, List[LocalSets]]
+    saved_restored: Dict[str, int]
+    psg: ProgramSummaryGraph
+    phase1: Phase1Result
+    phase2: Phase2Result
+    result: AnalysisResult
+    timings: StageTimings
+    memory_bytes: int
+
+    # -- convenience -----------------------------------------------------
+
+    def summary(self, routine: str) -> RoutineSummary:
+        return self.result.summaries[routine]
+
+    @property
+    def basic_block_count(self) -> int:
+        return sum(cfg.block_count for cfg in self.cfgs.values())
+
+    @property
+    def cfg_arc_count(self) -> int:
+        """Intraprocedural arcs plus one call and one return arc per
+        resolved call site (the Table-5 "CFG Arcs" definition)."""
+        intra = sum(cfg.arc_count for cfg in self.cfgs.values())
+        calls = sum(len(cfg.call_sites) for cfg in self.cfgs.values())
+        return intra + 2 * calls
+
+
+def analyze_program(
+    program: Program, config: Optional[AnalysisConfig] = None
+) -> InterproceduralAnalysis:
+    """Run the full pipeline on an already-decoded program."""
+    config = config or AnalysisConfig()
+    timer = StageTimer()
+
+    with timer.stage("cfg_build"):
+        cfgs = build_all_cfgs(program)
+        call_graph = build_call_graph(program, cfgs)
+
+    with timer.stage("initialization"):
+        local_sets = {
+            name: compute_local_sets(cfg) for name, cfg in cfgs.items()
+        }
+        if config.callee_saved_filtering:
+            saved_restored = {
+                name: saved_restored_registers(cfg, config.convention)
+                for name, cfg in cfgs.items()
+            }
+        else:
+            saved_restored = {name: 0 for name in cfgs}
+
+    with timer.stage("psg_build"):
+        psg = build_psg(program, cfgs, local_sets, config.psg)
+
+    preserved = mask_of(
+        {config.convention.stack_pointer, config.convention.global_pointer}
+    )
+    callee_first = call_graph.reverse_topological_order()
+    phase1_order = _node_order(psg, callee_first)
+    with timer.stage("phase1"):
+        phase1 = run_phase1(psg, saved_restored, preserved, phase1_order)
+
+    caller_first = list(reversed(callee_first))
+    phase2_order = _node_order(psg, caller_first)
+    with timer.stage("phase2"):
+        phase2 = run_phase2(
+            psg,
+            call_graph.externally_callable,
+            config.convention,
+            phase2_order,
+        )
+
+    result = _assemble_summaries(program, cfgs, saved_restored, psg, phase1, phase2)
+    memory = psg_analysis_memory(psg, cfgs, config.memory_model)
+    return InterproceduralAnalysis(
+        program=program,
+        config=config,
+        cfgs=cfgs,
+        call_graph=call_graph,
+        local_sets=local_sets,
+        saved_restored=saved_restored,
+        psg=psg,
+        phase1=phase1,
+        phase2=phase2,
+        result=result,
+        timings=timer.timings,
+        memory_bytes=memory,
+    )
+
+
+def analyze_image(
+    image: ExecutableImage, config: Optional[AnalysisConfig] = None
+) -> InterproceduralAnalysis:
+    """Decode an executable image and analyze it.
+
+    Decoding time is charged to the CFG Build stage, as in the paper
+    (Spike's CFG construction starts from machine code).
+    """
+    timer = StageTimer()
+    with timer.stage("cfg_build"):
+        program = disassemble_image(image)
+    analysis = analyze_program(program, config)
+    analysis.timings.cfg_build += timer.timings.cfg_build
+    return analysis
+
+
+def _node_order(psg: ProgramSummaryGraph, routine_order: List[str]) -> List[int]:
+    """Seed order: routines in ``routine_order``, and within each
+    routine the nodes in reverse creation order (targets tend to be
+    created after the entry, so reversing processes them first, which
+    suits backward propagation)."""
+    order: List[int] = []
+    for name in routine_order:
+        routine_psg = psg.routines[name]
+        ids = [routine_psg.entry_node]
+        ids.extend(node for node, _kind in routine_psg.exit_nodes)
+        for call_node, return_node, _site in routine_psg.call_pairs:
+            ids.append(call_node)
+            ids.append(return_node)
+        ids.extend(routine_psg.branch_nodes)
+        order.extend(reversed(ids))
+    return order
+
+
+def _assemble_summaries(
+    program: Program,
+    cfgs: Dict[str, ControlFlowGraph],
+    saved_restored: Dict[str, int],
+    psg: ProgramSummaryGraph,
+    phase1: Phase1Result,
+    phase2: Phase2Result,
+) -> AnalysisResult:
+    summaries: Dict[str, RoutineSummary] = {}
+    cr_by_src = {edge.src: edge for edge in psg.call_return_edges}
+    for routine in program:
+        name = routine.name
+        routine_psg = psg.routines[name]
+        entry_node = routine_psg.entry_node
+
+        exit_live: Dict[int, int] = {}
+        exit_kinds: Dict[int, object] = {}
+        for node_id, kind in routine_psg.exit_nodes:
+            block = psg.nodes[node_id].block
+            exit_live[block] = phase2.may_use[node_id]
+            exit_kinds[block] = kind
+
+        call_sites: List[CallSiteSummary] = []
+        for call_node, return_node, site in routine_psg.call_pairs:
+            label = cr_by_src[call_node].label
+            call_sites.append(
+                CallSiteSummary(
+                    site=site,
+                    used_mask=label.may_use,
+                    defined_mask=label.must_def,
+                    killed_mask=label.may_def,
+                    live_before_mask=phase2.may_use[call_node],
+                    live_after_mask=phase2.may_use[return_node],
+                )
+            )
+
+        summaries[name] = RoutineSummary(
+            name=name,
+            call_used_mask=phase1.may_use[entry_node],
+            call_defined_mask=phase1.must_def[entry_node],
+            call_killed_mask=phase1.may_def[entry_node],
+            live_at_entry_mask=phase2.may_use[entry_node],
+            exit_live_masks=exit_live,
+            exit_kinds=exit_kinds,  # type: ignore[arg-type]
+            call_sites=call_sites,
+            saved_restored_mask=saved_restored.get(name, 0),
+        )
+    return AnalysisResult(summaries=summaries)

@@ -1,0 +1,226 @@
+"""Persist routine summaries to a sidecar file.
+
+A production post-link optimizer does not reanalyze the world on every
+invocation: it writes the interprocedural summaries next to the binary
+and reloads them while the binary is unchanged.  This module provides
+that sidecar ("SUM" format): a compact, versioned binary serialization
+of an :class:`~repro.interproc.summaries.AnalysisResult`, keyed by a
+fingerprint of the executable image so a stale sidecar is rejected.
+
+Layout (little-endian)::
+
+    magic "SUM1" | u64 image_fingerprint | u32 routine_count
+    per routine:
+      u16 name_len | name utf-8
+      u64 call_used | u64 call_defined | u64 call_killed
+      u64 live_at_entry | u64 saved_restored
+      u32 exit_count   | per exit:  u32 block | u8 kind | u64 live
+      u32 site_count   | per site:
+        u32 block | u32 instruction_index | u8 indirect
+        u16 target_count | per target: u16 len | utf-8
+        u64 used | u64 defined | u64 killed | u64 live_before | u64 live_after
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from typing import Dict, List
+
+from repro.cfg.cfg import CallSite, ExitKind
+from repro.interproc.summaries import (
+    AnalysisResult,
+    CallSiteSummary,
+    RoutineSummary,
+)
+
+MAGIC = b"SUM1"
+
+_U8 = struct.Struct("<B")
+_U16 = struct.Struct("<H")
+_U32 = struct.Struct("<I")
+_U64 = struct.Struct("<Q")
+
+_EXIT_KIND_CODES = {
+    ExitKind.RETURN: 0,
+    ExitKind.HALT: 1,
+    ExitKind.UNKNOWN_JUMP: 2,
+}
+_EXIT_KIND_BY_CODE = {code: kind for kind, code in _EXIT_KIND_CODES.items()}
+
+
+class SummaryFormatError(ValueError):
+    """Raised for malformed or stale summary sidecars."""
+
+
+def image_fingerprint(image_bytes: bytes) -> int:
+    """A cheap content fingerprint of the executable image."""
+    return zlib.crc32(image_bytes) | (len(image_bytes) << 32)
+
+
+class _Writer:
+    def __init__(self) -> None:
+        self.parts: List[bytes] = []
+
+    def u8(self, value: int) -> None:
+        self.parts.append(_U8.pack(value))
+
+    def u16(self, value: int) -> None:
+        self.parts.append(_U16.pack(value))
+
+    def u32(self, value: int) -> None:
+        self.parts.append(_U32.pack(value))
+
+    def u64(self, value: int) -> None:
+        self.parts.append(_U64.pack(value))
+
+    def text(self, value: str) -> None:
+        encoded = value.encode("utf-8")
+        self.u16(len(encoded))
+        self.parts.append(encoded)
+
+    def blob(self) -> bytes:
+        return b"".join(self.parts)
+
+
+class _Reader:
+    def __init__(self, blob: bytes) -> None:
+        self.blob = blob
+        self.offset = 0
+
+    def _unpack(self, spec: struct.Struct) -> int:
+        if self.offset + spec.size > len(self.blob):
+            raise SummaryFormatError("truncated summary file")
+        (value,) = spec.unpack_from(self.blob, self.offset)
+        self.offset += spec.size
+        return value
+
+    def u8(self) -> int:
+        return self._unpack(_U8)
+
+    def u16(self) -> int:
+        return self._unpack(_U16)
+
+    def u32(self) -> int:
+        return self._unpack(_U32)
+
+    def u64(self) -> int:
+        return self._unpack(_U64)
+
+    def text(self) -> str:
+        length = self.u16()
+        if self.offset + length > len(self.blob):
+            raise SummaryFormatError("truncated summary string")
+        value = self.blob[self.offset : self.offset + length].decode("utf-8")
+        self.offset += length
+        return value
+
+
+def dump_summaries(result: AnalysisResult, fingerprint: int = 0) -> bytes:
+    """Serialize ``result`` (optionally bound to an image fingerprint)."""
+    writer = _Writer()
+    writer.parts.append(MAGIC)
+    writer.u64(fingerprint)
+    names = sorted(result.summaries)
+    writer.u32(len(names))
+    for name in names:
+        summary = result.summaries[name]
+        writer.text(name)
+        writer.u64(summary.call_used_mask)
+        writer.u64(summary.call_defined_mask)
+        writer.u64(summary.call_killed_mask)
+        writer.u64(summary.live_at_entry_mask)
+        writer.u64(summary.saved_restored_mask)
+        exits = sorted(summary.exit_live_masks)
+        writer.u32(len(exits))
+        for block in exits:
+            writer.u32(block)
+            writer.u8(_EXIT_KIND_CODES[summary.exit_kinds[block]])
+            writer.u64(summary.exit_live_masks[block])
+        writer.u32(len(summary.call_sites))
+        for site in summary.call_sites:
+            writer.u32(site.site.block)
+            writer.u32(site.site.instruction_index)
+            writer.u8(1 if site.site.indirect else 0)
+            writer.u16(len(site.site.targets))
+            for target in site.site.targets:
+                writer.text(target)
+            writer.u64(site.used_mask)
+            writer.u64(site.defined_mask)
+            writer.u64(site.killed_mask)
+            writer.u64(site.live_before_mask)
+            writer.u64(site.live_after_mask)
+    return writer.blob()
+
+
+def load_summaries(
+    blob: bytes, expected_fingerprint: int = 0
+) -> AnalysisResult:
+    """Parse a summary sidecar; rejects stale fingerprints.
+
+    Pass ``expected_fingerprint=0`` to skip the staleness check (e.g.
+    for summaries not bound to a specific image).
+    """
+    if blob[:4] != MAGIC:
+        raise SummaryFormatError(f"bad magic {blob[:4]!r}")
+    reader = _Reader(blob)
+    reader.offset = 4
+    fingerprint = reader.u64()
+    if expected_fingerprint and fingerprint != expected_fingerprint:
+        raise SummaryFormatError(
+            f"stale summaries: fingerprint {fingerprint:#x} does not match "
+            f"image {expected_fingerprint:#x}"
+        )
+    count = reader.u32()
+    summaries: Dict[str, RoutineSummary] = {}
+    for _ in range(count):
+        name = reader.text()
+        call_used = reader.u64()
+        call_defined = reader.u64()
+        call_killed = reader.u64()
+        live_at_entry = reader.u64()
+        saved_restored = reader.u64()
+        exit_live: Dict[int, int] = {}
+        exit_kinds: Dict[int, ExitKind] = {}
+        for _ in range(reader.u32()):
+            block = reader.u32()
+            code = reader.u8()
+            if code not in _EXIT_KIND_BY_CODE:
+                raise SummaryFormatError(f"unknown exit kind code {code}")
+            exit_kinds[block] = _EXIT_KIND_BY_CODE[code]
+            exit_live[block] = reader.u64()
+        sites: List[CallSiteSummary] = []
+        for _ in range(reader.u32()):
+            block = reader.u32()
+            instruction_index = reader.u32()
+            indirect = bool(reader.u8())
+            targets = tuple(reader.text() for _ in range(reader.u16()))
+            sites.append(
+                CallSiteSummary(
+                    site=CallSite(
+                        block=block,
+                        instruction_index=instruction_index,
+                        targets=targets,
+                        indirect=indirect,
+                    ),
+                    used_mask=reader.u64(),
+                    defined_mask=reader.u64(),
+                    killed_mask=reader.u64(),
+                    live_before_mask=reader.u64(),
+                    live_after_mask=reader.u64(),
+                )
+            )
+        summaries[name] = RoutineSummary(
+            name=name,
+            call_used_mask=call_used,
+            call_defined_mask=call_defined,
+            call_killed_mask=call_killed,
+            live_at_entry_mask=live_at_entry,
+            exit_live_masks=exit_live,
+            exit_kinds=exit_kinds,
+            call_sites=sites,
+            saved_restored_mask=saved_restored,
+        )
+    if reader.offset != len(blob):
+        raise SummaryFormatError("trailing bytes after summaries")
+    return AnalysisResult(summaries=summaries)

@@ -1,0 +1,39 @@
+"""Summary-driven optimizations (Figure 1 of the paper).
+
+The paper motivates the interprocedural summaries with four
+optimizations that a traditional compiler cannot perform because the
+calling and called procedures live in separately compiled modules:
+
+* **dead-code elimination across returns** (Fig. 1a) and **across
+  calls** (Fig. 1b) — :mod:`repro.opt.dce`;
+* **spill removal around calls** (Fig. 1c): a caller-saved register
+  the summary proves un-killed need not be spilled —
+  :mod:`repro.opt.spill`;
+* **callee-saved → caller-saved reallocation** (Fig. 1d): a value held
+  in a callee-saved register across calls that do not kill some
+  caller-saved register moves there, deleting the save/restore —
+  :mod:`repro.opt.realloc`.
+
+:mod:`repro.opt.pipeline` composes the passes with re-analysis between
+them and validates results behaviourally.
+"""
+
+from repro.opt.dce import eliminate_dead_code
+from repro.opt.deadstore import eliminate_dead_stores
+from repro.opt.spill import remove_call_spills
+from repro.opt.realloc import reallocate_callee_saved
+from repro.opt.pipeline import (
+    OptimizationReport,
+    OptimizationResult,
+    optimize_program,
+)
+
+__all__ = [
+    "OptimizationReport",
+    "OptimizationResult",
+    "eliminate_dead_code",
+    "eliminate_dead_stores",
+    "optimize_program",
+    "reallocate_callee_saved",
+    "remove_call_spills",
+]

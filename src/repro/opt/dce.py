@@ -1,0 +1,155 @@
+"""Interprocedural dead-code elimination (Figure 1a/1b).
+
+With the routine's calls replaced by call-summary instructions and its
+exits annotated with live-at-exit sets (§2), conventional liveness
+tells us, after every instruction, exactly which registers the rest of
+the *program* might still read.  An instruction whose only effect is to
+define registers none of which are live afterwards is dead — even when
+the would-be consumer is in a separately compiled module, which is the
+case a traditional compiler cannot see.
+
+Deletions expose more deletions (a dead instruction's operands may die
+with it), so the pass iterates per routine until no instruction is
+removable.
+
+Instructions eligible for deletion: register-writing, fall-through
+instructions without side effects — operate format, ``lda``/``ldah``
+and loads.  Stores, OUTPUT and all control transfers are kept.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.isa.instructions import ControlKind, Format, Instruction, Opcode
+from repro.dataflow.liveness import SiteEffect, effective_gen_kill
+from repro.dataflow.regset import TRACKED_MASK
+from repro.cfg.cfg import ControlFlowGraph, ExitKind, TerminatorKind
+from repro.interproc.summaries import RoutineSummary
+
+_DELETABLE_FORMATS = (
+    Format.OPERATE,
+    Format.OPERATE_FP,
+)
+
+
+def _is_deletable(instruction: Instruction) -> bool:
+    opcode = instruction.opcode
+    if opcode.control != ControlKind.FALLTHROUGH:
+        return False
+    if opcode is Opcode.OUTPUT:
+        return False
+    if opcode.format in _DELETABLE_FORMATS:
+        return True
+    # Loads and address computations write a register and touch nothing
+    # else the program can observe.
+    return opcode in (Opcode.LDA, Opcode.LDAH, Opcode.LDQ, Opcode.LDT)
+
+
+def eliminate_dead_code(
+    cfg: ControlFlowGraph,
+    summary: RoutineSummary,
+) -> Dict[int, Optional[Instruction]]:
+    """Dead instructions of one routine, as rewrite edits.
+
+    Returns ``{instruction index: None}`` for every deletable
+    instruction that defines no live register; iterates to a fixed
+    point internally.
+    """
+    blocks = cfg.blocks
+    site_effects: Dict[int, SiteEffect] = summary.site_effects()
+    exit_live = summary.return_exit_live()
+    deleted: set = set()
+
+    while True:
+        live_in = _solve_block_liveness(cfg, site_effects, exit_live, deleted)
+        newly_dead: List[int] = []
+        for block in blocks:
+            # Walk the block backward from its live-out.
+            if block.successors:
+                mask = 0
+                for successor in block.successors:
+                    mask |= live_in[successor]
+            else:
+                mask = _exit_mask(cfg, block.index, exit_live)
+            for offset in range(len(block.instructions) - 1, -1, -1):
+                index = block.start + offset
+                if index in deleted:
+                    continue
+                instruction = block.instructions[offset]
+                is_call = (
+                    block.terminator == TerminatorKind.CALL
+                    and offset == len(block.instructions) - 1
+                )
+                gen, kill = effective_gen_kill(
+                    instruction,
+                    site_effects.get(block.index) if is_call else None,
+                )
+                if _is_deletable(instruction) and kill and not (kill & mask):
+                    newly_dead.append(index)
+                    continue  # a dead instruction contributes nothing
+                mask = gen | (mask & ~kill)
+        if not newly_dead:
+            break
+        deleted.update(newly_dead)
+
+    return {index: None for index in sorted(deleted)}
+
+
+def _exit_mask(
+    cfg: ControlFlowGraph, block_index: int, exit_live: Dict[int, int]
+) -> int:
+    kind = cfg.exit_kind_of(block_index)
+    if kind == ExitKind.RETURN:
+        return exit_live.get(block_index, 0)
+    if kind == ExitKind.UNKNOWN_JUMP:
+        return TRACKED_MASK
+    return 0
+
+
+def _solve_block_liveness(
+    cfg: ControlFlowGraph,
+    site_effects: Dict[int, SiteEffect],
+    exit_live: Dict[int, int],
+    deleted: set,
+) -> List[int]:
+    """Block-level live-in masks, with ``deleted`` instructions skipped."""
+    blocks = cfg.blocks
+    gen = [0] * len(blocks)
+    kill = [0] * len(blocks)
+    for block in blocks:
+        block_gen = 0
+        block_kill = 0
+        for offset, instruction in enumerate(block.instructions):
+            index = block.start + offset
+            if index in deleted:
+                continue
+            is_call = (
+                block.terminator == TerminatorKind.CALL
+                and offset == len(block.instructions) - 1
+            )
+            instruction_gen, instruction_kill = effective_gen_kill(
+                instruction,
+                site_effects.get(block.index) if is_call else None,
+            )
+            block_gen |= instruction_gen & ~block_kill
+            block_kill |= instruction_kill
+        gen[block.index] = block_gen
+        kill[block.index] = block_kill
+
+    live_in = [0] * len(blocks)
+    changed = True
+    while changed:
+        changed = False
+        for block in reversed(blocks):
+            if block.successors:
+                out_mask = 0
+                for successor in block.successors:
+                    out_mask |= live_in[successor]
+            else:
+                out_mask = _exit_mask(cfg, block.index, exit_live)
+            new_in = gen[block.index] | (out_mask & ~kill[block.index])
+            if new_in != live_in[block.index]:
+                live_in[block.index] = new_in
+                changed = True
+    return live_in

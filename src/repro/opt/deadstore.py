@@ -1,0 +1,165 @@
+"""Dead stack-store elimination.
+
+A follow-on cleanup pass the Figure-1 transformations expose: after
+reallocation deletes a restore, or DCE deletes the load half of a
+spill, the matching *store* is left writing a stack slot nobody will
+ever read.  This pass removes stores to the routine's own frame slots
+that cannot reach any load of the same slot.
+
+Soundness rests on the frame-privacy discipline the rest of the
+optimizer already assumes (and the generator and examples obey):
+
+* a routine's ``sp``-relative slots are accessed only through ``sp``
+  with a constant displacement and only by the routine itself (callees
+  build their own frames below ``sp``; callers' frames sit above);
+* ``sp`` is only adjusted by the prologue/epilogue ``lda`` pair.
+
+We verify the second point per routine (bail out entirely on any other
+``sp`` definition or any non-``sp`` memory access whose base register
+could alias the frame — conservatively, any load/store not based on
+``sp``, since our IR has no alias information) and then run a
+slot-level backward liveness over the CFG: a store is dead when its
+slot is not live immediately after it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.isa.instructions import Instruction, Opcode
+from repro.isa.registers import STACK_POINTER
+from repro.cfg.cfg import ControlFlowGraph, ExitKind
+from repro.interproc.summaries import RoutineSummary
+
+_LOADS = (Opcode.LDQ, Opcode.LDT)
+_STORES = (Opcode.STQ, Opcode.STT)
+
+
+def eliminate_dead_stores(
+    cfg: ControlFlowGraph,
+    summary: RoutineSummary,
+) -> Dict[int, Optional[Instruction]]:
+    """Dead frame stores of one routine, as rewrite edits.
+
+    Returns ``{instruction index: None}``.  Conservatively returns no
+    edits when the routine's memory behaviour defeats the frame-privacy
+    argument (non-``sp`` memory accesses, unusual ``sp`` writes, or
+    unknown-jump exits).
+    """
+    slots = _frame_slots(cfg)
+    if slots is None or not slots:
+        return {}
+
+    slot_list = sorted(slots)
+    slot_bit = {slot: 1 << i for i, slot in enumerate(slot_list)}
+
+    # Per-block gen (slot loaded before overwritten) / kill (slot
+    # definitely overwritten) for backward slot liveness.
+    blocks = cfg.blocks
+    gen = [0] * len(blocks)
+    kill = [0] * len(blocks)
+    for block in blocks:
+        block_gen = 0
+        block_kill = 0
+        for instruction in block.instructions:
+            slot = _sp_slot(instruction)
+            if slot is None:
+                continue
+            bit = slot_bit[slot]
+            if instruction.opcode in _LOADS:
+                if not (block_kill & bit):
+                    block_gen |= bit
+            else:
+                block_kill |= bit
+        gen[block.index] = block_gen
+        kill[block.index] = block_kill
+
+    live_in = [0] * len(blocks)
+    changed = True
+    while changed:
+        changed = False
+        for block in reversed(blocks):
+            out_mask = 0
+            for successor in block.successors:
+                out_mask |= live_in[successor]
+            # At RETURN/HALT exits the frame dies; slots are dead.
+            new_in = gen[block.index] | (out_mask & ~kill[block.index])
+            if new_in != live_in[block.index]:
+                live_in[block.index] = new_in
+                changed = True
+
+    edits: Dict[int, Optional[Instruction]] = {}
+    for block in blocks:
+        out_mask = 0
+        for successor in block.successors:
+            out_mask |= live_in[successor]
+        live = out_mask
+        for offset in range(len(block.instructions) - 1, -1, -1):
+            instruction = block.instructions[offset]
+            slot = _sp_slot(instruction)
+            if slot is None:
+                continue
+            bit = slot_bit[slot]
+            if instruction.opcode in _LOADS:
+                live |= bit
+            else:
+                if not (live & bit):
+                    edits[block.start + offset] = None
+                live &= ~bit
+    return edits
+
+
+def _frame_slots(cfg: ControlFlowGraph) -> Optional[Set[int]]:
+    """The sp-relative slots the routine touches, or None to bail out.
+
+    A slot is identified by its ``sp``-relative displacement, which is
+    only meaningful while ``sp`` is constant.  We therefore require the
+    standard discipline and bail out otherwise:
+
+    * ``sp`` is written only by ``lda sp, -F(sp)`` as the *first*
+      instruction of the entry block and ``lda sp, +F(sp)`` in exit
+      blocks with no slot access after it — so every slot access sees
+      the same ``sp``;
+    * every load/store is ``sp``-based (no alias into the frame);
+    * no unknown-jump exits (unknown code could inspect the frame).
+    """
+    if any(kind == ExitKind.UNKNOWN_JUMP for _b, kind in cfg.exits):
+        return None
+    exit_blocks = {block for block, _kind in cfg.exits}
+    slots: Set[int] = set()
+    for block in cfg.blocks:
+        seen_sp_restore = False
+        for offset, instruction in enumerate(block.instructions):
+            opcode = instruction.opcode
+            if opcode in _LOADS or opcode in _STORES:
+                if instruction.rb != STACK_POINTER:
+                    return None  # possible alias into the frame
+                if seen_sp_restore:
+                    return None  # slot access under a different sp
+                slots.add(instruction.displacement)
+            if STACK_POINTER in instruction.defs():
+                is_adjust = (
+                    opcode is Opcode.LDA
+                    and instruction.ra == STACK_POINTER
+                    and instruction.rb == STACK_POINTER
+                )
+                if not is_adjust:
+                    return None  # sp computed some other way
+                is_prologue = block.index == cfg.entry_index and offset == 0
+                is_epilogue = block.index in exit_blocks
+                if is_prologue:
+                    continue
+                if is_epilogue:
+                    seen_sp_restore = True
+                    continue
+                return None  # mid-routine sp adjustment
+    return slots
+
+
+def _sp_slot(instruction: Instruction) -> Optional[int]:
+    if (
+        instruction.opcode in _LOADS + _STORES
+        and instruction.rb == STACK_POINTER
+    ):
+        return instruction.displacement
+    return None

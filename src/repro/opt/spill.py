@@ -1,0 +1,142 @@
+"""Spill removal around calls (Figure 1c).
+
+The compiler assigned a value to a caller-saved register ``Rt`` and,
+because it had to assume every call kills every caller-saved register,
+spilled ``Rt`` to the stack around the call:
+
+.. code-block:: none
+
+    stq  Rt, k(sp)
+    bsr  ra, callee        [ killed by call = ... , Rt not in it ]
+    ldq  Rt, k(sp)
+
+When the summary shows the callee does not kill ``Rt``, the spill pair
+is deleted and the value simply stays in the register.
+
+Safety conditions checked per candidate pair:
+
+* the store is in the call's block with no intervening definition of
+  ``Rt`` or ``sp`` and no other access to the slot before the call;
+* the load is in the call's return-point block, which has the call
+  block as its *only* predecessor, again with no intervening
+  definition of ``Rt``/``sp`` or slot access;
+* ``Rt`` is not call-killed at the site;
+* no other instruction in the routine touches the slot (the slot's
+  only job is this spill).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.isa.instructions import Instruction, Opcode
+from repro.isa.registers import STACK_POINTER
+from repro.cfg.cfg import ControlFlowGraph
+from repro.interproc.summaries import RoutineSummary
+
+
+def remove_call_spills(
+    cfg: ControlFlowGraph,
+    summary: RoutineSummary,
+) -> Dict[int, Optional[Instruction]]:
+    """Deletable spill pairs of one routine, as rewrite edits."""
+    edits: Dict[int, Optional[Instruction]] = {}
+    slot_access_counts = _slot_access_counts(cfg)
+    for site_summary in summary.call_sites:
+        site = site_summary.site
+        call_block = cfg.blocks[site.block]
+        if len(call_block.successors) != 1:
+            continue
+        return_block = cfg.blocks[call_block.successors[0]]
+        if return_block.predecessors != [call_block.index]:
+            continue
+        for store_offset, register, slot in _candidate_stores(call_block):
+            store_index = call_block.start + store_offset
+            if store_index in edits:
+                continue
+            if not site_summary.survives_call(register):
+                continue
+            # The call instruction itself writes its link register.
+            if register in call_block.instructions[-1].defs():
+                continue
+            if not _clear_between_store_and_call(
+                call_block, store_offset, register, slot
+            ):
+                continue
+            load_offset = _matching_load(return_block, register, slot)
+            if load_offset is None:
+                continue
+            load_index = return_block.start + load_offset
+            if load_index in edits:
+                continue
+            if slot_access_counts.get(slot, 0) != 2:
+                continue
+            edits[store_index] = None
+            edits[load_index] = None
+    return edits
+
+
+def _slot_access_counts(cfg: ControlFlowGraph) -> Dict[int, int]:
+    """How many instructions access each sp-relative slot."""
+    counts: Dict[int, int] = {}
+    for block in cfg.blocks:
+        for instruction in block.instructions:
+            if (
+                instruction.opcode
+                in (Opcode.STQ, Opcode.LDQ, Opcode.STT, Opcode.LDT)
+                and instruction.rb == STACK_POINTER
+            ):
+                counts[instruction.displacement] = (
+                    counts.get(instruction.displacement, 0) + 1
+                )
+    return counts
+
+
+def _candidate_stores(call_block) -> List[Tuple[int, int, int]]:
+    """(offset, register, slot) for stack stores in the call block."""
+    stores: List[Tuple[int, int, int]] = []
+    for offset, instruction in enumerate(call_block.instructions[:-1]):
+        if (
+            instruction.opcode in (Opcode.STQ, Opcode.STT)
+            and instruction.rb == STACK_POINTER
+        ):
+            stores.append((offset, instruction.ra, instruction.displacement))
+    return stores
+
+
+def _clear_between_store_and_call(
+    call_block, store_offset: int, register: int, slot: int
+) -> bool:
+    """No redefinition of the register/sp and no slot access between the
+    store and the call instruction (exclusive of both)."""
+    for instruction in call_block.instructions[store_offset + 1 : -1]:
+        if register in instruction.defs() or STACK_POINTER in instruction.defs():
+            return False
+        if _accesses_slot(instruction, slot):
+            return False
+    return True
+
+
+def _matching_load(return_block, register: int, slot: int) -> Optional[int]:
+    """Offset of the reload in the return block, if the prefix is clean."""
+    for offset, instruction in enumerate(return_block.instructions):
+        if (
+            instruction.opcode in (Opcode.LDQ, Opcode.LDT)
+            and instruction.rb == STACK_POINTER
+            and instruction.displacement == slot
+            and instruction.ra == register
+        ):
+            return offset
+        if register in instruction.defs() or STACK_POINTER in instruction.defs():
+            return None
+        if _accesses_slot(instruction, slot):
+            return None
+    return None
+
+
+def _accesses_slot(instruction: Instruction, slot: int) -> bool:
+    return (
+        instruction.opcode in (Opcode.STQ, Opcode.LDQ, Opcode.STT, Opcode.LDT)
+        and instruction.rb == STACK_POINTER
+        and instruction.displacement == slot
+    )

@@ -1,0 +1,49 @@
+"""Executable images and the post-link program model.
+
+Spike is a *post-link-time* optimizer: its input is a fully linked
+executable.  This subpackage provides the equivalent substrate for the
+reproduction:
+
+* :mod:`repro.program.image` — a simple binary executable format
+  ("SAX", Simple Alpha eXecutable) with text and data sections, a symbol
+  table, jump-table metadata and an export list, serializable to and
+  from bytes;
+* :mod:`repro.program.asm` — an assembler with both a programmatic API
+  and a text syntax, producing executable images;
+* :mod:`repro.program.model` — the decoded program model
+  (:class:`Program` / :class:`Routine`) the analyses operate on;
+* :mod:`repro.program.disasm` — the disassembler/loader that lifts an
+  image back into the program model, and a listing renderer.
+"""
+
+from repro.program.image import (
+    CallTargetHint,
+    ExecutableImage,
+    ImageFormatError,
+    JumpTableInfo,
+    Symbol,
+)
+from repro.program.model import Program, ProgramError, Routine
+from repro.program.asm import Assembler, AssemblyError, assemble
+from repro.program.linker import LinkError, ObjectModule, link_modules
+from repro.program.disasm import disassemble_image, load_program, render_listing
+
+__all__ = [
+    "Assembler",
+    "AssemblyError",
+    "CallTargetHint",
+    "ExecutableImage",
+    "ImageFormatError",
+    "JumpTableInfo",
+    "LinkError",
+    "ObjectModule",
+    "Program",
+    "ProgramError",
+    "Routine",
+    "Symbol",
+    "assemble",
+    "disassemble_image",
+    "link_modules",
+    "load_program",
+    "render_listing",
+]

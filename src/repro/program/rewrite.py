@@ -1,0 +1,344 @@
+"""Binary rewriting: apply optimizer edits and relink the program.
+
+Spike is an executable *rewriter*: deleting an instruction shifts every
+later instruction, so branch displacements, call displacements,
+address-materialization sequences and jump tables must all be fixed up.
+This module implements that relinking for the decoded program model:
+
+* ``apply_edits(program, edits)`` deletes / replaces instructions and
+  produces a new, fully consistent :class:`Program`:
+
+  - PC-relative branches and direct calls are re-displaced through an
+    old-address → new-address map (targets that were deleted resolve to
+    the next surviving instruction);
+  - ``ldah``/``lda`` chains that materialize a routine's entry address
+    (indirect-call targets) are re-split for the routine's new address;
+  - jump tables are patched in place in the data section, so data
+    addresses never move.
+
+* ``program_to_image(program)`` re-serializes a program into an
+  executable image (the inverse of
+  :func:`repro.program.disasm.disassemble_image`).
+
+Restrictions (checked): only fall-through instructions may be deleted,
+and a replacement must keep the original's control behaviour — the
+optimizer passes in :mod:`repro.opt` only ever need register renames
+and straight-line deletions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace as dataclass_replace
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.isa.encoding import INSTRUCTION_SIZE, encode_stream
+from repro.isa.instructions import ControlKind, Instruction, Opcode
+from repro.isa.registers import ZERO_REGISTER
+from repro.program.image import (
+    CallTargetHint,
+    ExecutableImage,
+    JumpTableInfo,
+    Symbol,
+)
+from repro.program.model import Program, ProgramError, Routine
+
+#: routine name -> {instruction index: replacement or None (= delete)}.
+Edits = Dict[str, Dict[int, Optional[Instruction]]]
+
+
+class RewriteError(ValueError):
+    """Raised when edits cannot be applied consistently."""
+
+
+def apply_edits(program: Program, edits: Edits) -> Program:
+    """Apply ``edits`` and relink; returns a new program."""
+    for name in edits:
+        if name not in program.routine_names():
+            raise RewriteError(f"edits name unknown routine {name!r}")
+
+    ordered = sorted(program.routines, key=lambda r: r.address)
+    text_base = ordered[0].address
+
+    # ------------------------------------------------------------------
+    # 1. Layout: which instructions survive, and where they land.
+    # ------------------------------------------------------------------
+    kept: Dict[str, List[Tuple[int, Instruction]]] = {}
+    new_address: Dict[str, int] = {}
+    cursor = text_base
+    for routine in ordered:
+        routine_edits = edits.get(routine.name, {})
+        survivors: List[Tuple[int, Instruction]] = []
+        for index, instruction in enumerate(routine.instructions):
+            if index in routine_edits:
+                replacement = routine_edits[index]
+                if replacement is None:
+                    if instruction.opcode.control != ControlKind.FALLTHROUGH:
+                        raise RewriteError(
+                            f"{routine.name!r}: cannot delete control "
+                            f"instruction at index {index}"
+                        )
+                    continue
+                if replacement.opcode.control != instruction.opcode.control:
+                    raise RewriteError(
+                        f"{routine.name!r}: replacement at index {index} "
+                        f"changes control behaviour"
+                    )
+                survivors.append((index, replacement))
+            else:
+                survivors.append((index, instruction))
+        if not survivors:
+            raise RewriteError(f"{routine.name!r}: all instructions deleted")
+        kept[routine.name] = survivors
+        new_address[routine.name] = cursor
+        cursor += len(survivors) * INSTRUCTION_SIZE
+
+    # Old instruction address -> new instruction address.  Deleted
+    # instructions map to the next survivor (branch targets slide down).
+    address_map: Dict[int, int] = {}
+    for routine in ordered:
+        survivors = kept[routine.name]
+        base = new_address[routine.name]
+        survivor_positions = {
+            old_index: base + slot * INSTRUCTION_SIZE
+            for slot, (old_index, _instruction) in enumerate(survivors)
+        }
+        survivor_indices = [old_index for old_index, _ in survivors]
+        cursor_slot = 0
+        for old_index in range(len(routine.instructions)):
+            while (
+                cursor_slot < len(survivor_indices)
+                and survivor_indices[cursor_slot] < old_index
+            ):
+                cursor_slot += 1
+            if cursor_slot < len(survivor_indices):
+                mapped = base + cursor_slot * INSTRUCTION_SIZE
+            else:
+                # Deleted trailing instruction: impossible, the last
+                # instruction is a control instruction and cannot be
+                # deleted; defend anyway.
+                mapped = base + (len(survivors) - 1) * INSTRUCTION_SIZE
+            if old_index in survivor_positions:
+                mapped = survivor_positions[old_index]
+            address_map[routine.address_of(old_index)] = mapped
+
+    old_entries = {routine.address: routine.name for routine in ordered}
+
+    # ------------------------------------------------------------------
+    # 2. Re-emit instructions with fixed-up displacements.
+    # ------------------------------------------------------------------
+    new_routines: List[Routine] = []
+    for routine in ordered:
+        survivors = kept[routine.name]
+        base = new_address[routine.name]
+        body: List[Instruction] = []
+        for slot, (old_index, instruction) in enumerate(survivors):
+            control = instruction.opcode.control
+            if control in (
+                ControlKind.COND_BRANCH,
+                ControlKind.UNCOND_BRANCH,
+                ControlKind.CALL_DIRECT,
+            ):
+                old_target = routine.address_of(old_index) + INSTRUCTION_SIZE * (
+                    1 + instruction.displacement
+                )
+                new_target = address_map.get(old_target)
+                if new_target is None:
+                    raise RewriteError(
+                        f"{routine.name!r}: branch target {old_target:#x} "
+                        f"is not a known instruction"
+                    )
+                new_pc = base + slot * INSTRUCTION_SIZE
+                displacement = (new_target - new_pc - INSTRUCTION_SIZE) // (
+                    INSTRUCTION_SIZE
+                )
+                instruction = dataclass_replace(
+                    instruction, displacement=displacement
+                )
+            body.append(instruction)
+        _repair_address_chains(routine.name, body, old_entries, new_address)
+        new_routines.append(
+            Routine(
+                name=routine.name,
+                address=base,
+                instructions=body,
+                exported=routine.exported,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # 3. Patch jump tables (data addresses do not move).
+    # ------------------------------------------------------------------
+    data = bytearray(program.data)
+    new_jump_targets: Dict[int, Tuple[int, ...]] = {}
+    new_locations: Dict[int, int] = {}
+    for old_jump_address, targets in program.jump_targets.items():
+        location = program.jump_table_locations.get(old_jump_address)
+        if location is None:
+            raise RewriteError(
+                f"cannot rewrite: jump table for {old_jump_address:#x} has "
+                f"no recorded data location"
+            )
+        new_targets = []
+        for target in targets:
+            mapped = address_map.get(target)
+            if mapped is None:
+                raise RewriteError(
+                    f"jump-table target {target:#x} is not a known instruction"
+                )
+            new_targets.append(mapped)
+        offset = location - program.data_base
+        for i, target in enumerate(new_targets):
+            data[offset + 8 * i : offset + 8 * (i + 1)] = target.to_bytes(
+                8, "little"
+            )
+        new_jump = address_map[old_jump_address]
+        new_jump_targets[new_jump] = tuple(new_targets)
+        new_locations[new_jump] = location
+
+    # ------------------------------------------------------------------
+    # 4. Relocate function-pointer words in the data section.
+    # ------------------------------------------------------------------
+    for relocation in program.data_relocations:
+        offset = relocation - program.data_base
+        if offset < 0 or offset + 8 > len(data):
+            raise RewriteError(
+                f"data relocation {relocation:#x} outside data section"
+            )
+        pointer = int.from_bytes(data[offset : offset + 8], "little")
+        mapped = address_map.get(pointer)
+        if mapped is None:
+            raise RewriteError(
+                f"data relocation at {relocation:#x} holds {pointer:#x}, "
+                f"not a known instruction address"
+            )
+        data[offset : offset + 8] = mapped.to_bytes(8, "little")
+
+    # ------------------------------------------------------------------
+    # 5. Re-address the linker call-target hints.
+    # ------------------------------------------------------------------
+    new_hints: Dict[int, Tuple[int, ...]] = {}
+    for call_address, hint_targets in program.call_target_hints.items():
+        mapped_call = address_map.get(call_address)
+        if mapped_call is None:
+            raise RewriteError(
+                f"call-target hint owner {call_address:#x} is not a known "
+                f"instruction"
+            )
+        new_hints[mapped_call] = tuple(
+            address_map[target] for target in hint_targets
+        )
+
+    return Program(
+        routines=new_routines,
+        entry=program.entry,
+        jump_targets=new_jump_targets,
+        data=bytes(data),
+        data_base=program.data_base,
+        jump_table_locations=new_locations,
+        data_relocations=list(program.data_relocations),
+        call_target_hints=new_hints,
+    )
+
+
+def _repair_address_chains(
+    name: str,
+    body: List[Instruction],
+    old_entries: Dict[int, str],
+    new_address: Dict[str, int],
+) -> None:
+    """Re-split ``ldah``/``lda`` pairs that materialize routine addresses.
+
+    The assembler materializes every code address as an adjacent
+
+    .. code-block:: none
+
+        ldah rd, high(zero)
+        lda  rd, low(rd)
+
+    pair (routine entries start at 0x10000, above the single-``lda``
+    range, so no other shape can produce one).  This pass finds exactly
+    that shape, checks the pair's value against the *old* routine entry
+    table, and rewrites both displacements for the routine's new
+    address.  Matching the precise shape avoids false positives on
+    intermediate ``ldah`` values that coincidentally equal some entry.
+    """
+    for index in range(len(body) - 1):
+        high = body[index]
+        low = body[index + 1]
+        if high.opcode is not Opcode.LDAH or high.rb != ZERO_REGISTER:
+            continue
+        if (
+            low.opcode is not Opcode.LDA
+            or low.rb != high.ra
+            or low.ra != high.ra
+        ):
+            continue
+        value = (high.displacement << 16) + low.displacement
+        routine_name = old_entries.get(value)
+        if routine_name is None:
+            continue
+        target = new_address[routine_name]
+        new_low = target & 0xFFFF
+        if new_low >= 0x8000:
+            new_low -= 0x10000
+        new_high = (target - new_low) >> 16
+        if not -0x8000 <= new_high <= 0x7FFF:
+            raise RewriteError(f"{name!r}: address {target:#x} out of range")
+        body[index] = dataclass_replace(high, displacement=new_high)
+        body[index + 1] = dataclass_replace(low, displacement=new_low)
+
+
+def program_to_image(program: Program) -> ExecutableImage:
+    """Re-serialize a program into an executable image.
+
+    Routines must be contiguous (the assembler and the rewriter always
+    produce contiguous layouts).
+    """
+    ordered = sorted(program.routines, key=lambda r: r.address)
+    text_base = ordered[0].address
+    cursor = text_base
+    instructions: List[Instruction] = []
+    symbols: List[Symbol] = []
+    for routine in ordered:
+        if routine.address != cursor:
+            raise ProgramError(
+                f"routine {routine.name!r} is not contiguous with the "
+                f"previous routine"
+            )
+        instructions.extend(routine.instructions)
+        symbols.append(
+            Symbol(routine.name, routine.address, routine.size, routine.exported)
+        )
+        cursor = routine.end
+    jump_tables = []
+    for jump_address, targets in sorted(program.jump_targets.items()):
+        location = program.jump_table_locations.get(jump_address)
+        if location is None:
+            raise ProgramError(
+                f"jump table for {jump_address:#x} has no data location"
+            )
+        jump_tables.append(
+            JumpTableInfo(
+                jump_address=jump_address,
+                table_address=location,
+                count=len(targets),
+            )
+        )
+    image = ExecutableImage(
+        text=encode_stream(instructions),
+        data=program.data,
+        text_base=text_base,
+        data_base=program.data_base,
+        entry_point=program.entry_routine.address,
+        symbols=symbols,
+        jump_tables=jump_tables,
+        data_relocations=list(program.data_relocations),
+        call_target_hints=[
+            CallTargetHint(call_address, targets)
+            for call_address, targets in sorted(
+                program.call_target_hints.items()
+            )
+        ],
+    )
+    image.validate()
+    return image

@@ -1,0 +1,138 @@
+"""The assembled Program Summary Graph."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.cfg.cfg import CallSite, ExitKind
+from repro.psg.nodes import CallReturnEdge, FlowEdge, NodeKind, PSGNode
+
+
+@dataclass
+class RoutinePSG:
+    """The PSG nodes belonging to one routine."""
+
+    routine: str
+    entry_node: int
+    #: (node id, exit kind) per exit block, in block order.
+    exit_nodes: List[Tuple[int, ExitKind]]
+    #: (call node id, return node id, call site) per call site.
+    call_pairs: List[Tuple[int, int, CallSite]]
+    #: branch node ids (one per multiway block), in block order.
+    branch_nodes: List[int]
+    #: indices into the program-level flow edge list.
+    flow_edge_indices: List[int] = field(default_factory=list)
+
+    @property
+    def node_count(self) -> int:
+        return 1 + len(self.exit_nodes) + 2 * len(self.call_pairs) + len(
+            self.branch_nodes
+        )
+
+    def return_exit_nodes(self) -> List[int]:
+        """Exit nodes of RETURN kind (the ones callers return through)."""
+        return [
+            node for node, kind in self.exit_nodes if kind == ExitKind.RETURN
+        ]
+
+
+@dataclass
+class ProgramSummaryGraph:
+    """The whole-program PSG: nodes, flow edges, call-return edges.
+
+    Adjacency is exposed as index lists so the dataflow engines can run
+    over flat arrays: ``flow_out[n]`` / ``flow_in[n]`` give indices into
+    ``flow_edges``; ``cr_out[n]`` / ``cr_in[n]`` give indices into
+    ``call_return_edges``.
+    """
+
+    nodes: List[PSGNode]
+    flow_edges: List[FlowEdge]
+    call_return_edges: List[CallReturnEdge]
+    routines: Dict[str, RoutinePSG]
+
+    def __post_init__(self) -> None:
+        count = len(self.nodes)
+        self.flow_out: List[List[int]] = [[] for _ in range(count)]
+        self.flow_in: List[List[int]] = [[] for _ in range(count)]
+        for index, edge in enumerate(self.flow_edges):
+            self.flow_out[edge.src].append(index)
+            self.flow_in[edge.dst].append(index)
+        self.cr_out: List[Optional[int]] = [None] * count
+        self.cr_in: List[Optional[int]] = [None] * count
+        for index, edge in enumerate(self.call_return_edges):
+            if self.cr_out[edge.src] is not None:
+                raise ValueError(f"node {edge.src} has two call-return edges")
+            self.cr_out[edge.src] = index
+            self.cr_in[edge.dst] = index
+        #: callee routine name -> indices of call-return edges that can
+        #: target it (hinted edges appear under every possible callee).
+        self.cr_edges_to: Dict[str, List[int]] = {}
+        for index, edge in enumerate(self.call_return_edges):
+            for callee in edge.callees:
+                self.cr_edges_to.setdefault(callee, []).append(index)
+
+    # ------------------------------------------------------------------
+    # Statistics (Tables 3-5)
+    # ------------------------------------------------------------------
+
+    @property
+    def node_count(self) -> int:
+        return len(self.nodes)
+
+    @property
+    def edge_count(self) -> int:
+        """Flow-summary plus call-return edges."""
+        return len(self.flow_edges) + len(self.call_return_edges)
+
+    @property
+    def flow_edge_count(self) -> int:
+        return len(self.flow_edges)
+
+    @property
+    def branch_node_count(self) -> int:
+        return sum(len(r.branch_nodes) for r in self.routines.values())
+
+    def nodes_of_kind(self, kind: NodeKind) -> List[PSGNode]:
+        return [node for node in self.nodes if node.kind == kind]
+
+    def per_routine_averages(self) -> Dict[str, float]:
+        """Average PSG nodes and edges per routine (Table 3 units)."""
+        count = max(len(self.routines), 1)
+        return {
+            "psg_nodes_per_routine": self.node_count / count,
+            "psg_edges_per_routine": self.edge_count / count,
+        }
+
+    def check(self) -> None:
+        """Structural invariants; raises :class:`ValueError` on failure."""
+        for index, node in enumerate(self.nodes):
+            if node.id != index:
+                raise ValueError(f"node {index} has mismatched id {node.id}")
+        for edge in self.flow_edges:
+            src, dst = self.nodes[edge.src], self.nodes[edge.dst]
+            if src.routine != dst.routine:
+                raise ValueError(
+                    f"flow edge crosses routines: {src.describe()} -> "
+                    f"{dst.describe()}"
+                )
+            if src.kind not in (NodeKind.ENTRY, NodeKind.RETURN, NodeKind.BRANCH):
+                raise ValueError(f"flow edge from non-source {src.describe()}")
+            if dst.kind not in (NodeKind.EXIT, NodeKind.CALL, NodeKind.BRANCH):
+                raise ValueError(f"flow edge into non-target {dst.describe()}")
+            if not edge.label.is_consistent():
+                raise ValueError(
+                    f"edge {src.describe()} -> {dst.describe()} has "
+                    f"MUST-DEF ⊄ MAY-DEF"
+                )
+        for edge in self.call_return_edges:
+            src, dst = self.nodes[edge.src], self.nodes[edge.dst]
+            if src.kind != NodeKind.CALL or dst.kind != NodeKind.RETURN:
+                raise ValueError("call-return edge must link CALL -> RETURN")
+            if src.call_site is not dst.call_site:
+                raise ValueError("call-return edge links different call sites")
+        for name, routine_psg in self.routines.items():
+            entry = self.nodes[routine_psg.entry_node]
+            if entry.kind != NodeKind.ENTRY or entry.routine != name:
+                raise ValueError(f"routine {name!r} has a bad entry node")

@@ -1,0 +1,113 @@
+"""Graphviz DOT export for CFGs and PSGs.
+
+Handy for inspecting what the analysis built — render with e.g.
+``dot -Tsvg out.dot -o out.svg``.  The PSG export mirrors the paper's
+figures: entry/exit nodes as ellipses, call/return pairs as boxes
+joined by a dashed call-return edge, branch nodes as diamonds, and
+flow-summary edges labeled with their (MAY-USE, MAY-DEF, MUST-DEF)
+sets.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.dataflow.regset import RegisterSet
+from repro.cfg.cfg import ControlFlowGraph, TerminatorKind
+from repro.psg.graph import ProgramSummaryGraph
+from repro.psg.nodes import NodeKind
+
+
+def _escape(text: str) -> str:
+    return text.replace("\\", "\\\\").replace('"', '\\"')
+
+
+def cfg_to_dot(cfg: ControlFlowGraph, max_instructions: int = 4) -> str:
+    """One routine's CFG as a DOT digraph.
+
+    Each block shows up to ``max_instructions`` instructions; call and
+    exit blocks are highlighted.
+    """
+    lines: List[str] = [
+        f'digraph "{_escape(cfg.routine.name)}_cfg" {{',
+        "  node [shape=box, fontname=monospace, fontsize=9];",
+    ]
+    for block in cfg.blocks:
+        body = [str(i) for i in block.instructions[:max_instructions]]
+        if len(block.instructions) > max_instructions:
+            body.append(f"... +{len(block.instructions) - max_instructions}")
+        label = f"B{block.index}\\n" + "\\l".join(_escape(t) for t in body) + "\\l"
+        attributes = [f'label="{label}"']
+        if block.terminator == TerminatorKind.CALL:
+            attributes.append('style=filled fillcolor="#cfe8ff"')
+        elif block.is_exit:
+            attributes.append('style=filled fillcolor="#ffd9cf"')
+        elif block.index == cfg.entry_index:
+            attributes.append('style=filled fillcolor="#d8f5d3"')
+        lines.append(f"  b{block.index} [{' '.join(attributes)}];")
+    for block in cfg.blocks:
+        for successor in block.successors:
+            lines.append(f"  b{block.index} -> b{successor};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def _set_label(mask: int) -> str:
+    return _escape(repr(RegisterSet.from_mask(mask)))
+
+
+def psg_to_dot(
+    psg: ProgramSummaryGraph,
+    routine: Optional[str] = None,
+    show_labels: bool = True,
+) -> str:
+    """The PSG (or one routine's slice of it) as a DOT digraph."""
+    selected = None if routine is None else {routine}
+    lines: List[str] = [
+        'digraph "psg" {',
+        "  node [fontname=monospace, fontsize=9];",
+        "  edge [fontname=monospace, fontsize=8];",
+    ]
+    shapes = {
+        NodeKind.ENTRY: "ellipse",
+        NodeKind.EXIT: "ellipse",
+        NodeKind.CALL: "box",
+        NodeKind.RETURN: "box",
+        NodeKind.BRANCH: "diamond",
+    }
+    wanted = set()
+    for node in psg.nodes:
+        if selected is not None and node.routine not in selected:
+            continue
+        wanted.add(node.id)
+        extra = ""
+        if node.kind == NodeKind.ENTRY:
+            extra = ' style=filled fillcolor="#d8f5d3"'
+        elif node.kind == NodeKind.EXIT:
+            extra = ' style=filled fillcolor="#ffd9cf"'
+        lines.append(
+            f'  n{node.id} [shape={shapes[node.kind]} '
+            f'label="{_escape(node.describe())}"{extra}];'
+        )
+    for edge in psg.flow_edges:
+        if edge.src not in wanted or edge.dst not in wanted:
+            continue
+        if show_labels:
+            label = (
+                f"U:{_set_label(edge.label.may_use)}\\n"
+                f"D:{_set_label(edge.label.may_def)}\\n"
+                f"M:{_set_label(edge.label.must_def)}"
+            )
+            lines.append(f'  n{edge.src} -> n{edge.dst} [label="{label}"];')
+        else:
+            lines.append(f"  n{edge.src} -> n{edge.dst};")
+    for edge in psg.call_return_edges:
+        if edge.src not in wanted or edge.dst not in wanted:
+            continue
+        callees = ",".join(edge.callees) if edge.callees else "?"
+        lines.append(
+            f'  n{edge.src} -> n{edge.dst} '
+            f'[style=dashed label="{_escape(callees)}"];'
+        )
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,70 @@
+"""Stage timing for the dataflow pipeline (Figure 13).
+
+The paper breaks total analysis time into five stages: CFG Build,
+Initialization (DEF/UBD generation), PSG Build, Phase 1 and Phase 2.
+:class:`StageTimer` measures them with a monotonic clock and
+:class:`StageTimings` carries the results.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator
+
+#: Stage names, in pipeline order (the Figure-13 legend).
+STAGE_NAMES = ("cfg_build", "initialization", "psg_build", "phase1", "phase2")
+
+
+@dataclass
+class StageTimings:
+    """Seconds spent in each stage of one analysis run."""
+
+    cfg_build: float = 0.0
+    initialization: float = 0.0
+    psg_build: float = 0.0
+    phase1: float = 0.0
+    phase2: float = 0.0
+
+    @property
+    def total(self) -> float:
+        """Total dataflow analysis time (the Table-2 column)."""
+        return (
+            self.cfg_build
+            + self.initialization
+            + self.psg_build
+            + self.phase1
+            + self.phase2
+        )
+
+    def fractions(self) -> Dict[str, float]:
+        """Per-stage fraction of total time (the Figure-13 bars)."""
+        total = self.total
+        if total <= 0:
+            return {name: 0.0 for name in STAGE_NAMES}
+        return {name: getattr(self, name) / total for name in STAGE_NAMES}
+
+    def as_dict(self) -> Dict[str, float]:
+        result = {name: getattr(self, name) for name in STAGE_NAMES}
+        result["total"] = self.total
+        return result
+
+
+@dataclass
+class StageTimer:
+    """Accumulates wall-clock time into a :class:`StageTimings`."""
+
+    timings: StageTimings = field(default_factory=StageTimings)
+
+    @contextmanager
+    def stage(self, name: str) -> Iterator[None]:
+        """Time a ``with`` block under stage ``name``."""
+        if name not in STAGE_NAMES:
+            raise ValueError(f"unknown stage {name!r}")
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            setattr(self.timings, name, getattr(self.timings, name) + elapsed)

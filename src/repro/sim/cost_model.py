@@ -1,0 +1,77 @@
+"""A simple cycle-cost model for executed programs.
+
+The paper's performance claims are wall-clock measurements on an Alpha
+21164, where the instructions the Figure-1 optimizations remove are not
+average instructions: spills and save/restores are *memory* operations
+(multi-cycle loads/stores), and call overhead is branch-heavy.  A raw
+dynamic instruction count therefore understates the benefit.
+
+This model weights each executed opcode with a latency in the spirit of
+the 21164's in-order pipeline (loads 3 cycles assuming D-cache hits,
+stores 2, integer multiply 8, control transfers 2 for the fetch bubble,
+single-cycle ALU otherwise).  It is deliberately coarse — the point is
+a defensible second axis ("estimated cycles") next to instruction
+counts, not a microarchitectural simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping
+
+from repro.isa.instructions import ControlKind, Format, Opcode
+from repro.sim.interpreter import ExecutionResult
+
+
+def _default_weights() -> Dict[str, int]:
+    weights: Dict[str, int] = {}
+    for opcode in Opcode:
+        if opcode in (Opcode.LDQ, Opcode.LDT):
+            weights[opcode.mnemonic] = 3
+        elif opcode in (Opcode.STQ, Opcode.STT):
+            weights[opcode.mnemonic] = 2
+        elif opcode in (Opcode.MULQ, Opcode.MULT):
+            weights[opcode.mnemonic] = 8
+        elif opcode.control != ControlKind.FALLTHROUGH:
+            weights[opcode.mnemonic] = 2
+        elif opcode.format in (Format.OPERATE, Format.OPERATE_FP) or (
+            opcode in (Opcode.LDA, Opcode.LDAH)
+        ):
+            weights[opcode.mnemonic] = 1
+        else:
+            weights[opcode.mnemonic] = 1
+    return weights
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Per-mnemonic cycle weights; unknown mnemonics cost ``default``."""
+
+    weights: Mapping[str, int] = field(default_factory=_default_weights)
+    default: int = 1
+
+    def cost_of(self, mnemonic: str) -> int:
+        return self.weights.get(mnemonic, self.default)
+
+    def estimate_cycles(self, result: ExecutionResult) -> int:
+        """Weighted cycle estimate for one execution."""
+        total = 0
+        for mnemonic, count in result.opcode_counts.items():
+            total += self.cost_of(mnemonic) * count
+        return total
+
+
+#: The default 21164-flavoured model.
+ALPHA_21164 = CostModel()
+
+
+def cycle_improvement(
+    before: ExecutionResult,
+    after: ExecutionResult,
+    model: CostModel = ALPHA_21164,
+) -> float:
+    """Fractional cycle reduction between two runs (0.07 = 7%)."""
+    baseline = model.estimate_cycles(before)
+    if baseline == 0:
+        return 0.0
+    return (baseline - model.estimate_cycles(after)) / baseline

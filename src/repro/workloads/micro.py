@@ -1,0 +1,166 @@
+"""Micro-workloads: the paper's figures as runnable programs.
+
+Each function returns a small, executable
+:class:`~repro.program.model.Program` reconstructing one of the paper's
+worked examples.  They are used by the test suite as ground-truth
+fixtures (the paper publishes the expected analysis results for them)
+and are handy as minimal reproducers when exploring the analysis.
+
+The paper's abstract registers R0..R3 map to ``t0``..``t3`` throughout.
+"""
+
+from __future__ import annotations
+
+from repro.program.asm import assemble
+from repro.program.disasm import disassemble_image
+from repro.program.model import Program
+
+#: Figure 2 / 9 / 11 — three routines P1, P2, P3 where P1 and P3 call
+#: P2.  The paper publishes the converged phase-1 entry sets of all
+#: three and P2's live-at-entry/exit (see tests/test_phases.py).
+FIGURE2_SOURCE = """
+.routine P1 export
+    lda  sp, -16(sp)
+    stq  ra, 0(sp)
+    lda  t0, 1(zero)      ; def R0
+    lda  t1, 2(zero)      ; def R1
+    bsr  ra, P2           ; call P2
+    beq  t0, P1_join      ; use R0 after the return
+P1_join:
+    ldq  ra, 0(sp)
+    lda  sp, 16(sp)
+    ret  (ra)
+.routine P2
+    beq  t1, P2_skip      ; use R1
+    lda  t3, 7(zero)      ; def R3 on one path
+P2_skip:
+    lda  t2, 9(zero)      ; def R2 on every path
+    ret  (ra)
+.routine P3 export
+    lda  sp, -16(sp)
+    stq  ra, 0(sp)
+    lda  t1, 5(zero)      ; def R1
+    bsr  ra, P2           ; call P2
+    ldq  ra, 0(sp)
+    lda  sp, 16(sp)
+    ret  (ra)
+"""
+
+#: Figure 4(a) — a four-block routine with one call, with block
+#: contents chosen so the flow-summary edge E_A gets exactly the label
+#: the paper's Figure 7 publishes (see tests/test_equations.py).
+FIGURE4_SOURCE = """
+.routine main export
+    li   a0, 1
+    bsr  ra, f
+    halt
+.routine f
+    addq t1, #1, t2       ; block 1: UBD {R1}, DEF {R2}
+    beq  t2, b3
+    addq t2, #2, t3       ; block 2: DEF {R3}
+    br   b4
+b3:
+    bsr  ra, g            ; block 3: ends with the call
+b4:
+    addq t2, #3, t3       ; block 4: DEF {R3}
+    ret  (ra)
+.routine g
+    lda  v0, 1(zero)
+    ret  (ra)
+"""
+
+#: Figure 12 — a multiway branch inside a loop with a call at every
+#: target: the structure whose PSG edge count branch nodes collapse
+#: from O(n²) to O(n) (see tests/test_psg.py).
+FIGURE12_SOURCE = """
+.routine main
+    li a0, 3
+    bsr ra, f
+    halt
+.routine f
+    lda sp, -16(sp)
+    stq ra, 0(sp)
+loop:
+    and  t0, #3, t1
+    li   t2, &T
+    sll  t1, #3, t1
+    addq t2, t1, t2
+    ldq  t2, 0(t2)
+    jmp  t2, [T]
+c0: bsr ra, g
+    br next
+c1: bsr ra, g
+    br next
+c2: bsr ra, g
+    br next
+c3: bsr ra, g
+    br next
+.jumptable T: c0, c1, c2, c3
+next:
+    subq t0, #1, t0
+    bgt  t0, loop
+    ldq  ra, 0(sp)
+    lda  sp, 16(sp)
+    ret  (ra)
+.routine g
+    lda v0, 1(zero)
+    ret (ra)
+"""
+
+#: Figure 1 — all four optimization opportunities in one program (a
+#: dead return value, a dead argument, a removable spill, and a
+#: callee-saved register a caller-saved one could replace).
+FIGURE1_SOURCE = """
+.routine main export
+    lda  sp, -32(sp)
+    stq  ra, 0(sp)
+    li   a1, 99           ; Figure 1(b): dead, helper reads only a0
+    li   a0, 7
+    li   t5, 1000
+    stq  t5, 16(sp)       ; Figure 1(c): spill around a harmless call
+    bsr  ra, helper
+    ldq  t5, 16(sp)
+    addq t5, v0, a0
+    output
+    bsr  ra, keeper
+    ldq  ra, 0(sp)
+    lda  sp, 32(sp)
+    halt
+.routine helper
+    addq a0, #1, t0
+    addq t0, t0, v0
+    cmplt a0, v0, t9      ; Figure 1(a): dead definition
+    ret  (ra)
+.routine keeper
+    lda  sp, -16(sp)
+    stq  ra, 0(sp)
+    stq  s0, 8(sp)        ; Figure 1(d): save/restore the realloc removes
+    bis  zero, a0, s0
+    li   a0, 3
+    bsr  ra, helper
+    addq s0, v0, v0
+    ldq  s0, 8(sp)
+    ldq  ra, 0(sp)
+    lda  sp, 16(sp)
+    ret  (ra)
+"""
+
+
+def figure2_program() -> Program:
+    """The Figure 2/9/11 worked example (entry: P1)."""
+    return disassemble_image(assemble(FIGURE2_SOURCE, entry="P1"))
+
+
+def figure4_program() -> Program:
+    """The Figure 4(a) CFG with Figure 7's edge labels."""
+    return disassemble_image(assemble(FIGURE4_SOURCE))
+
+
+def figure12_program() -> Program:
+    """The Figure 12 branch-node scenario."""
+    return disassemble_image(assemble(FIGURE12_SOURCE))
+
+
+def figure1_program() -> Program:
+    """All four Figure 1 optimization opportunities, executable."""
+    return disassemble_image(assemble(FIGURE1_SOURCE))

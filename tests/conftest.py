@@ -1,0 +1,64 @@
+"""Shared fixtures: canonical programs used across the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.program.asm import assemble
+from repro.program.disasm import disassemble_image
+from repro.program.model import Program
+from repro.workloads.generator import GeneratorConfig, generate_benchmark
+from repro.workloads.micro import figure2_program, figure4_program
+
+
+#: A two-routine program exercising calls, liveness and OUTPUT.
+QUICK_SOURCE = """
+.routine main export
+    lda  sp, -16(sp)
+    stq  ra, 0(sp)
+    li   a0, 5
+    bsr  ra, helper
+    bis  zero, v0, a0
+    output
+    ldq  ra, 0(sp)
+    lda  sp, 16(sp)
+    halt
+.routine helper
+    addq a0, #1, v0
+    ret  (ra)
+"""
+
+
+@pytest.fixture(scope="session")
+def quick_program() -> Program:
+    return disassemble_image(assemble(QUICK_SOURCE))
+
+
+@pytest.fixture(scope="session", name="figure2_program")
+def figure2_program_fixture() -> Program:
+    """The paper's Figure 2 / 9 / 11 worked example (repro.workloads.micro)."""
+    return figure2_program()
+
+
+@pytest.fixture(scope="session", name="figure4_program")
+def figure4_program_fixture() -> Program:
+    """The paper's Figure 4(a) example (repro.workloads.micro)."""
+    return figure4_program()
+
+
+@pytest.fixture(scope="session")
+def small_benchmark() -> Program:
+    """A small but structurally rich generated program."""
+    program, _shape = generate_benchmark(
+        "compress", scale=0.2, config=GeneratorConfig(seed=7)
+    )
+    return program
+
+
+@pytest.fixture(scope="session")
+def switchy_benchmark() -> Program:
+    """A generated program heavy in multiway branches (sqlservr-shaped)."""
+    program, _shape = generate_benchmark(
+        "sqlservr", scale=0.02, config=GeneratorConfig(seed=11)
+    )
+    return program

@@ -1,0 +1,84 @@
+"""Tests for the paper-style annotated listings."""
+
+import pytest
+
+from repro.interproc.analysis import analyze_program
+from repro.program.asm import assemble
+from repro.program.disasm import disassemble_image
+from repro.reporting.annotate import render_annotated_listing
+
+
+@pytest.fixture(scope="module")
+def annotated(quick_program):
+    analysis = analyze_program(quick_program)
+    return render_annotated_listing(analysis)
+
+
+class TestAnnotatedListing:
+    def test_routine_headers_carry_entry_summary(self, annotated):
+        assert "main:  [ live-at-entry =" in annotated
+        assert "helper:  [ live-at-entry =" in annotated
+        assert "call-used = " in annotated
+
+    def test_call_annotated_like_figure_1b(self, annotated):
+        line = next(l for l in annotated.splitlines() if "bsr" in l)
+        assert "[ helper: used = {a0, ra}" in line
+        assert "defined = {v0}" in line
+
+    def test_return_annotated_like_figure_1a(self, annotated):
+        line = next(l for l in annotated.splitlines() if "ret" in l)
+        assert "[ used on return =" in line
+        # main reads v0 after the call, so v0 is live on return.
+        assert "v0" in line.split("used on return")[1]
+
+    def test_routine_filter(self, quick_program):
+        analysis = analyze_program(quick_program)
+        only_helper = render_annotated_listing(analysis, ["helper"])
+        assert "helper:" in only_helper
+        assert "main:" not in only_helper
+
+    def test_unknown_call_annotated(self):
+        program = disassemble_image(
+            assemble(
+                """
+                .data p: 0
+                .routine main
+                    li  t0, @p
+                    ldq pv, 0(t0)
+                    jsr ra, (pv)
+                    halt
+                """
+            )
+        )
+        analysis = analyze_program(program)
+        listing = render_annotated_listing(analysis)
+        assert "<unknown>" in listing
+
+    def test_hinted_call_shows_target_set(self):
+        from tests.test_hints import _dispatch_program
+
+        analysis = analyze_program(_dispatch_program())
+        listing = render_annotated_listing(analysis, ["main"])
+        assert "alpha/beta" in listing
+
+    def test_saved_restored_note(self):
+        program = disassemble_image(
+            assemble(
+                """
+                .routine main
+                    bsr ra, f
+                    halt
+                .routine f
+                    lda sp, -16(sp)
+                    stq s0, 0(sp)
+                    bis zero, a0, s0
+                    addq s0, #1, v0
+                    ldq s0, 0(sp)
+                    lda sp, 16(sp)
+                    ret (ra)
+                """
+            )
+        )
+        analysis = analyze_program(program)
+        listing = render_annotated_listing(analysis, ["f"])
+        assert "saves/restores {s0}" in listing

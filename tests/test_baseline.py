@@ -1,0 +1,151 @@
+"""Cross-validation: the PSG engine vs. the whole-program-CFG baseline.
+
+Both engines implement the same two-phase valid-paths specification, so
+their summaries must agree *exactly* on every program.  This is the
+strongest correctness oracle in the suite: a bug in PSG construction,
+edge labeling, phase 1 or phase 2 shows up as a summary diff.
+"""
+
+import pytest
+
+from repro.interproc.analysis import AnalysisConfig, analyze_program
+from repro.interproc.baseline import analyze_program_baseline
+from repro.psg.build import PsgConfig
+from repro.program.asm import assemble
+from repro.program.disasm import disassemble_image
+from repro.workloads.generator import GeneratorConfig, generate_benchmark
+
+
+def assert_equal_summaries(program):
+    psg = analyze_program(program)
+    baseline = analyze_program_baseline(program)
+    diff = baseline.result.diff(psg.result)
+    assert psg.result.equal_summaries(baseline.result), diff[:8]
+
+
+class TestHandWritten:
+    def test_quick_program(self, quick_program):
+        assert_equal_summaries(quick_program)
+
+    def test_figure2(self, figure2_program):
+        assert_equal_summaries(figure2_program)
+
+    def test_figure4(self, figure4_program):
+        assert_equal_summaries(figure4_program)
+
+    def test_program_with_unknown_jump(self):
+        program = disassemble_image(
+            assemble(
+                """
+                .routine main
+                    beq t0, wild
+                    halt
+                wild:
+                    jmp (t7)
+                """
+            )
+        )
+        assert_equal_summaries(program)
+
+    def test_program_with_opaque_call(self):
+        program = disassemble_image(
+            assemble(
+                """
+                .data fp: 0
+                .routine main
+                    li  t0, @fp
+                    ldq pv, 0(t0)
+                    jsr ra, (pv)
+                    halt
+                .routine orphan export
+                    addq a0, #1, v0
+                    ret (ra)
+                """
+            )
+        )
+        assert_equal_summaries(program)
+
+    def test_mutual_recursion(self):
+        program = disassemble_image(
+            assemble(
+                """
+                .routine main
+                    li a0, 6
+                    bsr ra, even
+                    halt
+                .routine even
+                    lda sp, -16(sp)
+                    stq ra, 0(sp)
+                    li v0, 1
+                    ble a0, even_out
+                    subq a0, #1, a0
+                    bsr ra, odd
+                even_out:
+                    ldq ra, 0(sp)
+                    lda sp, 16(sp)
+                    ret (ra)
+                .routine odd
+                    lda sp, -16(sp)
+                    stq ra, 0(sp)
+                    li v0, 0
+                    ble a0, odd_out
+                    subq a0, #1, a0
+                    bsr ra, even
+                odd_out:
+                    ldq ra, 0(sp)
+                    lda sp, 16(sp)
+                    ret (ra)
+                """
+            )
+        )
+        assert_equal_summaries(program)
+
+
+@pytest.mark.parametrize("bench", ["compress", "li", "perl", "vortex"])
+@pytest.mark.parametrize("seed", [0, 1, 2])
+class TestGeneratedPrograms:
+    def test_summaries_agree(self, bench, seed):
+        program, _shape = generate_benchmark(
+            bench, scale=0.1, config=GeneratorConfig(seed=seed)
+        )
+        assert_equal_summaries(program)
+
+
+class TestPsgConfigurations:
+    def test_agreement_without_branch_nodes(self, switchy_benchmark):
+        """Branch nodes change the PSG's size, never its answers."""
+        with_nodes = analyze_program(
+            switchy_benchmark,
+            AnalysisConfig(psg=PsgConfig(branch_nodes=True)),
+        )
+        without = analyze_program(
+            switchy_benchmark,
+            AnalysisConfig(psg=PsgConfig(branch_nodes=False)),
+        )
+        assert with_nodes.result.equal_summaries(without.result)
+        baseline = analyze_program_baseline(switchy_benchmark)
+        assert with_nodes.result.equal_summaries(baseline.result)
+
+    def test_agreement_with_per_edge_labeling(self, small_benchmark):
+        literal = analyze_program(
+            small_benchmark,
+            AnalysisConfig(psg=PsgConfig(per_edge_labeling=True)),
+        )
+        fast = analyze_program(small_benchmark)
+        assert literal.result.equal_summaries(fast.result)
+
+
+class TestBaselineMeasurements:
+    def test_baseline_reports_sizes(self, small_benchmark):
+        baseline = analyze_program_baseline(small_benchmark)
+        psg = analyze_program(small_benchmark)
+        assert baseline.basic_block_count == psg.basic_block_count
+        assert baseline.cfg_arc_count == psg.cfg_arc_count
+        assert baseline.memory_bytes > 0
+        assert baseline.elapsed_seconds > 0
+
+    def test_psg_uses_less_model_memory(self, small_benchmark):
+        """§4: the PSG's dataflow state is smaller than the CFG's."""
+        baseline = analyze_program_baseline(small_benchmark)
+        psg = analyze_program(small_benchmark)
+        assert psg.memory_bytes < baseline.memory_bytes

@@ -1,0 +1,124 @@
+"""Tests for the spike-analyze command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.program.asm import assemble
+
+SOURCE = """
+.routine main export
+    li  a0, 5
+    bsr ra, helper
+    bis zero, v0, a0
+    output
+    halt
+.routine helper
+    addq a0, #1, v0
+    ret (ra)
+"""
+
+
+@pytest.fixture()
+def image_path(tmp_path):
+    path = tmp_path / "prog.sax"
+    path.write_bytes(assemble(SOURCE).to_bytes())
+    return str(path)
+
+
+class TestAnalyze:
+    def test_analyze_prints_measurements(self, image_path, capsys):
+        assert main(["analyze", image_path]) == 0
+        out = capsys.readouterr().out
+        assert "routines:" in out
+        assert "psg nodes:" in out
+        assert "phase1" in out
+
+    def test_analyze_routine_summary(self, image_path, capsys):
+        assert main(["analyze", image_path, "-r", "helper"]) == 0
+        out = capsys.readouterr().out
+        assert "call-used" in out
+        assert "a0" in out
+
+
+class TestDisasm:
+    def test_listing(self, image_path, capsys):
+        assert main(["disasm", image_path]) == 0
+        out = capsys.readouterr().out
+        assert "helper:" in out
+        assert "addq" in out
+
+
+class TestRun:
+    def test_outputs(self, image_path, capsys):
+        assert main(["run", image_path]) == 0
+        out = capsys.readouterr().out
+        assert out.splitlines()[0] == "6"
+        assert "steps=" in out
+
+
+class TestGenerate:
+    def test_generates_image(self, tmp_path, capsys):
+        output = str(tmp_path / "bench.sax")
+        code = main(
+            ["generate", "compress", "-o", output, "--scale", "0.05",
+             "--seed", "3"]
+        )
+        assert code == 0
+        assert "routines" in capsys.readouterr().out
+        assert main(["run", output, "--max-steps", "2000000"]) == 0
+
+
+class TestOptimize:
+    def test_optimize_writes_image(self, image_path, tmp_path, capsys):
+        output = str(tmp_path / "opt.sax")
+        assert main(["optimize", image_path, "-o", output, "--verify"]) == 0
+        out = capsys.readouterr().out
+        assert "instructions removed" in out
+        assert "dynamic improvement" in out
+        # The optimized image must still run and print the same value.
+        assert main(["run", output]) == 0
+        assert capsys.readouterr().out.splitlines()[0] == "6"
+
+
+class TestAnalyzeOutputs:
+    def test_save_summaries(self, image_path, tmp_path, capsys):
+        sidecar = str(tmp_path / "prog.sum")
+        assert main(["analyze", image_path, "--save-summaries", sidecar]) == 0
+        from repro.interproc.persist import image_fingerprint, load_summaries
+
+        with open(image_path, "rb") as handle:
+            fingerprint = image_fingerprint(handle.read())
+        with open(sidecar, "rb") as handle:
+            result = load_summaries(handle.read(), fingerprint)
+        assert "helper" in result
+
+    def test_summaries_subcommand(self, image_path, tmp_path, capsys):
+        sidecar = str(tmp_path / "prog.sum")
+        assert main(["analyze", image_path, "--save-summaries", sidecar]) == 0
+        capsys.readouterr()
+        assert main(["summaries", sidecar]) == 0
+        out = capsys.readouterr().out
+        assert "helper:" in out
+        assert "call-used" in out
+
+    def test_annotate_flag(self, image_path, capsys):
+        assert main(["analyze", image_path, "--annotate"]) == 0
+        out = capsys.readouterr().out
+        assert "used on return" in out
+
+    def test_dot_export(self, image_path, tmp_path, capsys):
+        dot_path = str(tmp_path / "psg.dot")
+        assert main(
+            ["analyze", image_path, "--dot", dot_path, "--dot-routine", "main"]
+        ) == 0
+        content = open(dot_path).read()
+        assert content.startswith("digraph")
+        assert "entry@main" in content
+
+
+class TestBenchmarks:
+    def test_lists_all_sixteen(self, capsys):
+        assert main(["benchmarks"]) == 0
+        out = capsys.readouterr().out
+        assert "compress" in out and "winword" in out
+        assert len(out.strip().splitlines()) == 16

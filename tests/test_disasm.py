@@ -1,0 +1,85 @@
+"""Tests for the disassembler, loader and listing renderer."""
+
+import pytest
+
+from repro.program.asm import assemble
+from repro.program.disasm import disassemble_image, load_program, render_listing
+from repro.program.image import ExecutableImage, ImageFormatError, Symbol
+
+
+class TestDisassembleImage:
+    def test_routines_carved_along_symbols(self, quick_program):
+        assert quick_program.routine_names() == ["main", "helper"]
+        assert len(quick_program.routine("helper")) == 2
+
+    def test_entry_resolved(self, quick_program):
+        assert quick_program.entry == "main"
+
+    def test_exported_flags(self, quick_program):
+        assert quick_program.routine("main").exported
+        assert not quick_program.routine("helper").exported
+
+    def test_jump_tables_resolved(self):
+        program = disassemble_image(
+            assemble(
+                """
+                .routine main
+                    jmp t0, [T]
+                a:  halt
+                b:  halt
+                .jumptable T: a, b
+                """
+            )
+        )
+        assert len(program.jump_targets) == 1
+        targets = next(iter(program.jump_targets.values()))
+        assert len(targets) == 2
+        assert len(program.jump_table_locations) == 1
+
+    def test_entry_point_must_be_routine_start(self):
+        image = assemble(".routine main\n halt\n halt\n")
+        image.entry_point += 4
+        with pytest.raises(ImageFormatError, match="entry"):
+            disassemble_image(image)
+
+
+class TestLoadProgram:
+    def test_bytes_roundtrip(self, quick_program):
+        from repro.program.rewrite import program_to_image
+
+        blob = program_to_image(quick_program).to_bytes()
+        reloaded = load_program(blob)
+        assert reloaded.routine_names() == quick_program.routine_names()
+        assert reloaded.instruction_count == quick_program.instruction_count
+
+
+class TestRenderListing:
+    def test_contains_routines_and_addresses(self, quick_program):
+        listing = render_listing(quick_program)
+        assert "main:" in listing
+        assert "helper:" in listing
+        assert "0x00010000" in listing
+
+    def test_call_annotated_with_callee(self, quick_program):
+        listing = render_listing(quick_program)
+        assert "calls helper" in listing
+
+    def test_branch_targets_labeled(self, figure4_program):
+        listing = render_listing(figure4_program)
+        assert "L0" in listing
+        assert "-> L" in listing
+
+    def test_jump_table_annotated(self):
+        program = disassemble_image(
+            assemble(
+                """
+                .routine main
+                    jmp t0, [T]
+                a:  halt
+                b:  halt
+                .jumptable T: a, b
+                """
+            )
+        )
+        listing = render_listing(program)
+        assert "table:" in listing

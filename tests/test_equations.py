@@ -1,0 +1,167 @@
+"""The Figure-6 equations, validated on the paper's Figure 4/5/7 example.
+
+The fixture program (``FIGURE4_SOURCE`` in conftest.py) reconstructs
+the CFG of the paper's Figure 4(a) — four basic blocks, a single call
+ending block 3 — with register contents chosen so that the published
+label of flow-summary edge E_A (Figure 7) comes out exactly:
+
+    MUST-DEF = {R2, R3}, MAY-DEF = {R2, R3}, MAY-USE = {R1}
+
+with the paper's abstract R1, R2, R3 mapped to t1, t2, t3.
+"""
+
+import pytest
+
+from repro.cfg.build import build_cfg
+from repro.cfg.cfg import TerminatorKind
+from repro.cfg.subgraph import backward_reachable, forward_reachable
+from repro.dataflow.equations import (
+    SummaryTriple,
+    label_from_starts,
+    solve_summary_subgraph,
+)
+from repro.dataflow.local import compute_local_sets
+from repro.dataflow.regset import RegisterSet, TRACKED_MASK, mask_of
+
+
+@pytest.fixture()
+def figure4(figure4_program):
+    routine = figure4_program.routine("f")
+    cfg = build_cfg(figure4_program, routine)
+    local_sets = compute_local_sets(cfg)
+    blocked = {site.block for site in cfg.call_sites}
+    return cfg, local_sets, blocked
+
+
+def names(mask: int):
+    return RegisterSet.from_mask(mask).names()
+
+
+class TestFigure4Structure:
+    def test_four_blocks_and_one_call(self, figure4):
+        cfg, _sets, _blocked = figure4
+        assert cfg.block_count == 4
+        assert len(cfg.call_sites) == 1
+        assert cfg.blocks[2].terminator == TerminatorKind.CALL
+
+    def test_block_local_sets_as_designed(self, figure4):
+        _cfg, sets, _blocked = figure4
+        # Block 1 (index 0): UBD {R1}, DEF {R2}.
+        assert "t1" in sets[0].used_before_defined.names()
+        assert "t2" in sets[0].defs.names()
+        # Block 2 (index 1): DEF {R3}.
+        assert "t3" in sets[1].defs.names()
+        # Block 4 (index 3): DEF {R3}.
+        assert "t3" in sets[3].defs.names()
+
+
+class TestFlowSummaryLabels:
+    def _solve_edge(self, figure4, starts, target):
+        cfg, sets, blocked = figure4
+        subgraph = backward_reachable(cfg.blocks, target, blocked)
+        solution = solve_summary_subgraph(cfg.blocks, sets, subgraph, blocked)
+        return label_from_starts(solution, [s for s in starts if s in subgraph])
+
+    def test_edge_ea_matches_figure7(self, figure4):
+        """Entry -> exit: the paper publishes this label explicitly."""
+        cfg, _sets, _blocked = figure4
+        exit_block = cfg.return_exits()[0]
+        label = self._solve_edge(figure4, [cfg.entry_index], exit_block)
+        assert {"t2", "t3"} <= names(label.must_def)
+        assert {"t2", "t3"} <= names(label.may_def)
+        assert "t1" in names(label.may_use)
+        # Projected onto the paper's registers, nothing else appears.
+        paper = mask_of(["t0", "t1", "t2", "t3"])
+        assert names(label.must_def & paper) == {"t2", "t3"}
+        assert names(label.may_use & paper) == {"t1"}
+
+    def test_edge_eb_entry_to_call(self, figure4):
+        cfg, _sets, _blocked = figure4
+        call_block = cfg.call_sites[0].block
+        label = self._solve_edge(figure4, [cfg.entry_index], call_block)
+        paper = mask_of(["t0", "t1", "t2", "t3"])
+        assert names(label.must_def & paper) == {"t2"}
+        assert names(label.may_def & paper) == {"t2"}
+        assert names(label.may_use & paper) == {"t1"}
+
+    def test_edge_ec_return_to_exit(self, figure4):
+        cfg, _sets, _blocked = figure4
+        call_block = cfg.call_sites[0].block
+        return_point = cfg.blocks[call_block].successors[0]
+        exit_block = cfg.return_exits()[0]
+        label = self._solve_edge(figure4, [return_point], exit_block)
+        paper = mask_of(["t0", "t1", "t2", "t3"])
+        assert names(label.must_def & paper) == {"t3"}
+        assert names(label.may_use & paper) == {"t2"}  # block 4 reads t2
+
+    def test_subgraphs_match_figure5(self, figure4):
+        """E_B covers blocks {1,3}; E_C covers {4} (paper's Figure 5)."""
+        cfg, _sets, blocked = figure4
+        call_block = cfg.call_sites[0].block
+        eb = forward_reachable(cfg.blocks, [cfg.entry_index], blocked) & (
+            backward_reachable(cfg.blocks, call_block, blocked)
+        )
+        assert eb == {0, 2}  # blocks "1" and "3" in the paper's numbering
+        return_point = cfg.blocks[call_block].successors[0]
+        exit_block = cfg.return_exits()[0]
+        ec = forward_reachable(cfg.blocks, [return_point], blocked) & (
+            backward_reachable(cfg.blocks, exit_block, blocked)
+        )
+        assert ec == {3}  # block "4"
+
+
+class TestMustDefOverLoops:
+    def test_loop_does_not_lose_must_defs(self):
+        """The ⊤ initialization keeps defs that every path performs.
+
+        A ∅-initialized MUST-DEF (the paper's literal initialization)
+        would drop t2 here because of the loop; see the module note in
+        repro.dataflow.equations.
+        """
+        from repro.program.asm import assemble
+        from repro.program.disasm import disassemble_image
+
+        program = disassemble_image(
+            assemble(
+                """
+                .routine main
+                loop:
+                    subq t0, #1, t0
+                    bgt  t0, loop
+                    lda  t2, 1(zero)
+                    ret  (ra)
+                """
+            )
+        )
+        cfg = build_cfg(program, program.routine("main"))
+        sets = compute_local_sets(cfg)
+        exit_block = cfg.return_exits()[0]
+        subgraph = backward_reachable(cfg.blocks, exit_block, set())
+        solution = solve_summary_subgraph(cfg.blocks, sets, subgraph, set())
+        label = solution[cfg.entry_index]
+        assert "t2" in names(label.must_def)
+
+
+class TestSummaryTriple:
+    def test_consistency(self):
+        assert SummaryTriple(may_def=0b11, must_def=0b01).is_consistent()
+        assert not SummaryTriple(may_def=0b01, must_def=0b10).is_consistent()
+
+    def test_accessors(self):
+        triple = SummaryTriple(may_use=0b1, may_def=0b10, must_def=0b10)
+        assert triple.may_use_set == RegisterSet([0])
+        assert triple.may_def_set == RegisterSet([1])
+        assert triple.must_def_set == RegisterSet([1])
+
+    def test_label_from_starts_intersects_must(self):
+        solution = {
+            0: SummaryTriple(may_use=0b1, may_def=0b1, must_def=0b11),
+            1: SummaryTriple(may_use=0b10, may_def=0b10, must_def=0b01),
+        }
+        label = label_from_starts(solution, [0, 1])
+        assert label.may_use == 0b11
+        assert label.may_def == 0b11
+        assert label.must_def == 0b01
+
+    def test_label_from_starts_empty(self):
+        assert label_from_starts({}, [0]) == SummaryTriple()

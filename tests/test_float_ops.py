@@ -1,0 +1,158 @@
+"""Tests for floating-point register flows through the whole stack.
+
+The dataflow analysis treats the 32 floating-point registers uniformly
+with the integer ones (Callahan's per-variable PSG vs Spike's shared
+one, §5).  These tests cover the FP opcodes end to end: assembly,
+encoding round trips happen in test_encoding; here we check execution
+semantics, dataflow facts and the calling convention's FP roles.
+"""
+
+import pytest
+
+from repro.interproc.analysis import analyze_program
+from repro.program.asm import assemble
+from repro.program.disasm import disassemble_image
+from repro.sim.interpreter import run_program
+
+
+def run(source):
+    return run_program(disassemble_image(assemble(source)))
+
+
+class TestFloatExecution:
+    def test_fp_arithmetic(self):
+        result = run(
+            """
+            .routine main
+                li   t0, 6
+                itoft t0, zero, f2
+                li   t1, 7
+                itoft t1, zero, f3
+                mult f2, f3, f4
+                ftoit f4, fzero, a0
+                output
+                halt
+            """
+        )
+        assert result.outputs == [42]
+
+    def test_fp_add_sub(self):
+        result = run(
+            """
+            .routine main
+                li  t0, 10
+                itoft t0, zero, f10
+                li  t1, 4
+                itoft t1, zero, f11
+                addt f10, f11, f12
+                subt f12, f11, f13
+                ftoit f13, fzero, a0
+                output
+                halt
+            """
+        )
+        assert result.outputs == [10]
+
+    def test_fp_memory_roundtrip(self):
+        result = run(
+            """
+            .routine main
+                li   t0, 99
+                itoft t0, zero, f5
+                stt  f5, -8(sp)
+                ldt  f6, -8(sp)
+                ftoit f6, fzero, a0
+                output
+                halt
+            """
+        )
+        assert result.outputs == [99]
+
+    def test_fp_compare_and_branch(self):
+        result = run(
+            """
+            .routine main
+                li   t0, 5
+                itoft t0, zero, f2
+                li   t1, 5
+                itoft t1, zero, f3
+                cmpteq f2, f3, f4
+                fbne f4, equal
+                li a0, 0
+                output
+                halt
+            equal:
+                li a0, 1
+                output
+                halt
+            """
+        )
+        assert result.outputs == [1]
+
+    def test_cpys_moves_value(self):
+        result = run(
+            """
+            .routine main
+                li   t0, 17
+                itoft t0, zero, f10
+                cpys f10, f10, f11
+                ftoit f11, fzero, a0
+                output
+                halt
+            """
+        )
+        assert result.outputs == [17]
+
+
+class TestFloatDataflow:
+    SOURCE = """
+        .routine main export
+            lda sp, -16(sp)
+            stq ra, 0(sp)
+            li  t0, 21
+            itoft t0, zero, f16      ; FP argument
+            bsr ra, fdouble
+            ftoit f0, fzero, a0
+            output
+            ldq ra, 0(sp)
+            lda sp, 16(sp)
+            halt
+        .routine fdouble
+            addt f16, f16, f0        ; FP return value
+            ret (ra)
+    """
+
+    def test_fp_registers_in_summaries(self):
+        program = disassemble_image(assemble(self.SOURCE))
+        analysis = analyze_program(program)
+        summary = analysis.summary("fdouble")
+        assert "f16" in summary.call_used.names()
+        assert "f0" in summary.call_defined.names()
+        assert "f0" in summary.call_killed.names()
+
+    def test_fp_execution_matches(self):
+        program = disassemble_image(assemble(self.SOURCE))
+        assert run_program(program).outputs == [42]
+
+    def test_fp_callee_saved_filtering(self):
+        program = disassemble_image(
+            assemble(
+                """
+                .routine main
+                    bsr ra, f
+                    halt
+                .routine f
+                    lda sp, -16(sp)
+                    stt f2, 0(sp)
+                    addt f16, f16, f2
+                    cpys f2, f2, f0
+                    ldt f2, 0(sp)
+                    lda sp, 16(sp)
+                    ret (ra)
+                """
+            )
+        )
+        analysis = analyze_program(program)
+        summary = analysis.summary("f")
+        assert "f2" in summary.saved_restored.names()
+        assert "f2" not in summary.call_killed.names()

@@ -1,0 +1,61 @@
+"""Golden-file regression tests for the analysis results.
+
+The micro-workloads' summaries are stored under ``tests/golden/`` as
+SUM sidecars.  Any change to the analysis' answers — intended or not —
+shows up here as a semantic diff, not just a byte diff, so refactors of
+the engines can be validated against frozen ground truth.
+
+To regenerate after an *intended* semantic change::
+
+    python -c "
+    from repro.workloads.micro import *
+    from repro.interproc.analysis import analyze_program
+    from repro.interproc.persist import dump_summaries
+    for name, builder in [('figure1', figure1_program),
+                          ('figure2', figure2_program),
+                          ('figure4', figure4_program),
+                          ('figure12', figure12_program)]:
+        blob = dump_summaries(analyze_program(builder()).result)
+        open(f'tests/golden/{name}.sum', 'wb').write(blob)
+    "
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.interproc.analysis import analyze_program
+from repro.interproc.persist import dump_summaries, load_summaries
+from repro.workloads.micro import (
+    figure1_program,
+    figure2_program,
+    figure4_program,
+    figure12_program,
+)
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+CASES = {
+    "figure1": figure1_program,
+    "figure2": figure2_program,
+    "figure4": figure4_program,
+    "figure12": figure12_program,
+}
+
+
+@pytest.mark.parametrize("name", sorted(CASES))
+def test_summaries_match_golden(name):
+    golden = load_summaries((GOLDEN_DIR / f"{name}.sum").read_bytes())
+    current = analyze_program(CASES[name]()).result
+    diff = golden.diff(current)
+    assert current.equal_summaries(golden), diff[:10]
+
+
+@pytest.mark.parametrize("name", sorted(CASES))
+def test_serialization_is_byte_stable(name):
+    """Dumping the same result twice yields identical bytes, and the
+    current dump matches the golden bytes exactly (full determinism)."""
+    current = analyze_program(CASES[name]()).result
+    blob = dump_summaries(current)
+    assert blob == dump_summaries(current)
+    assert blob == (GOLDEN_DIR / f"{name}.sum").read_bytes()

@@ -1,0 +1,229 @@
+"""Tests for the linker: separately assembled modules -> one image."""
+
+import pytest
+
+from repro.interproc.analysis import analyze_program
+from repro.program.disasm import disassemble_image
+from repro.program.linker import LinkError, ObjectModule, link_modules
+from repro.sim.interpreter import run_program
+
+
+def _main_module():
+    main = ObjectModule("app")
+    main.extern("inc")
+    main.routine("main", exported=True)
+    main.li("a0", 41)
+    main.bsr("inc")                 # cross-module call
+    main.op("bis", "zero", "v0", "a0")
+    main.output()
+    main.halt()
+    return main
+
+
+def _lib_module():
+    lib = ObjectModule("lib")
+    lib.routine("inc")
+    lib.op("addq", "a0", 1, "v0")
+    lib.ret()
+    return lib
+
+
+class TestBasicLinking:
+    def test_cross_module_call(self):
+        image = link_modules([_main_module(), _lib_module()], entry="main")
+        program = disassemble_image(image)
+        assert program.routine_names() == ["main", "inc"]
+        assert run_program(program).outputs == [42]
+
+    def test_module_order_is_layout_order(self):
+        image = link_modules([_lib_module(), _main_module()], entry="main")
+        program = disassemble_image(image)
+        assert program.routine_names() == ["inc", "main"]
+        assert run_program(program).outputs == [42]
+
+    def test_cross_module_interprocedural_facts(self):
+        """The whole point: facts invisible before linking exist after."""
+        image = link_modules([_main_module(), _lib_module()], entry="main")
+        program = disassemble_image(image)
+        analysis = analyze_program(program)
+        site = analysis.summary("main").call_sites[0]
+        assert site.site.callee == "inc"
+        assert site.used.names() == {"a0", "ra"}
+        assert site.defined.names() == {"v0"}
+
+    def test_object_module_cannot_build_standalone(self):
+        with pytest.raises(LinkError, match="standalone"):
+            _main_module().build()
+
+
+class TestSymbolResolution:
+    def test_unresolved_external_rejected(self):
+        main = _main_module()  # declares extern inc, nobody defines it
+        with pytest.raises(LinkError, match="unresolved external 'inc'"):
+            link_modules([main], entry="main")
+
+    def test_duplicate_definition_rejected(self):
+        other = ObjectModule("dup")
+        other.routine("inc")
+        other.ret()
+        with pytest.raises(LinkError, match="defined in both"):
+            link_modules([_lib_module(), other], entry="inc")
+
+    def test_missing_entry_rejected(self):
+        with pytest.raises(LinkError, match="entry routine"):
+            link_modules([_lib_module()], entry="main")
+
+    def test_empty_link_rejected(self):
+        with pytest.raises(LinkError, match="nothing"):
+            link_modules([], entry="main")
+
+
+class TestDataMerging:
+    def test_data_labels_are_module_scoped(self):
+        a = ObjectModule("a")
+        a.data_quads("k", [111])
+        a.extern("get_b")
+        a.routine("main", exported=True)
+        a.li("t0", "@k")
+        a.memory("ldq", "a0", 0, "t0")
+        a.output()
+        a.bsr("get_b")
+        a.op("bis", "zero", "v0", "a0")
+        a.output()
+        a.halt()
+
+        b = ObjectModule("b")
+        b.data_quads("k", [222])      # same label name, different module
+        b.routine("get_b")
+        b.li("t0", "@k")
+        b.memory("ldq", "v0", 0, "t0")
+        b.ret()
+
+        image = link_modules([a, b], entry="main")
+        result = run_program(disassemble_image(image))
+        assert result.outputs == [111, 222]
+
+    def test_pointer_tables_relocated_across_modules(self):
+        a = ObjectModule("a")
+        a.extern("callee")
+        a.data_code_pointers("fns", ["callee"])
+        a.routine("main", exported=True)
+        a.li("t0", "@fns")
+        a.memory("ldq", "pv", 0, "t0")
+        a.jsr("pv")
+        a.op("bis", "zero", "v0", "a0")
+        a.output()
+        a.halt()
+
+        b = ObjectModule("b")
+        b.routine("callee")
+        b.li("v0", 9)
+        b.ret()
+
+        image = link_modules([a, b], entry="main")
+        program = disassemble_image(image)
+        assert run_program(program).outputs == [9]
+        assert program.data_relocations  # the pointer is relocatable
+
+    def test_cross_module_hints(self):
+        a = ObjectModule("a")
+        a.extern("impl1")
+        a.extern("impl2")
+        a.routine("main", exported=True)
+        a.li("pv", "&impl1")
+        a.jsr("pv", hint_targets=["impl1", "impl2"])
+        a.op("bis", "zero", "v0", "a0")
+        a.output()
+        a.halt()
+
+        b = ObjectModule("b")
+        b.routine("impl1")
+        b.li("v0", 1)
+        b.ret()
+        b.routine("impl2")
+        b.li("v0", 2)
+        b.ret()
+
+        program = disassemble_image(link_modules([a, b], entry="main"))
+        analysis = analyze_program(program)
+        site = analysis.summary("main").call_sites[0]
+        assert set(site.site.targets) == {"impl1", "impl2"}
+
+
+class TestJumpTables:
+    def test_jump_table_survives_linking(self):
+        a = ObjectModule("a")
+        a.routine("main", exported=True)
+        a.li("t0", 1)
+        a.li("t2", "&T")
+        a.op("sll", "t0", 3, "t1")
+        a.op("addq", "t2", "t1", "t2")
+        a.memory("ldq", "t2", 0, "t2")
+        a.jump_table("T", ["c0", "c1"])
+        a.jmp("t2", table="T")
+        a.label("c0")
+        a.li("a0", 10)
+        a.output()
+        a.halt()
+        a.label("c1")
+        a.li("a0", 20)
+        a.output()
+        a.halt()
+
+        filler = ObjectModule("pad")  # shifts a's layout when first
+        filler.routine("pad")
+        filler.li("v0", 0)
+        filler.ret()
+
+        program = disassemble_image(link_modules([filler, a], entry="main"))
+        assert run_program(program).outputs == [20]
+
+    def test_duplicate_table_names_rejected(self):
+        def module(name):
+            m = ObjectModule(name)
+            m.routine(f"r_{name}")
+            m.jump_table("T", ["x"])
+            m.label("x")
+            m.jmp("t0", table="T")
+            return m
+
+        with pytest.raises(LinkError, match="jump table"):
+            link_modules([module("a"), module("b")], entry="r_a")
+
+
+class TestLargerLink:
+    def test_three_modules(self):
+        mods = []
+        main = ObjectModule("m0")
+        main.extern("f1")
+        main.extern("f2")
+        main.routine("main", exported=True)
+        main.li("a0", 5)
+        main.bsr("f1")
+        main.op("bis", "zero", "v0", "a0")
+        main.output()
+        main.halt()
+        mods.append(main)
+        m1 = ObjectModule("m1")
+        m1.extern("f2")
+        m1.routine("f1")
+        m1.memory("lda", "sp", -16, "sp")
+        m1.memory("stq", "ra", 0, "sp")
+        m1.bsr("f2")
+        m1.op("addq", "v0", 1, "v0")
+        m1.memory("ldq", "ra", 0, "sp")
+        m1.memory("lda", "sp", 16, "sp")
+        m1.ret()
+        mods.append(m1)
+        m2 = ObjectModule("m2")
+        m2.routine("f2")
+        m2.op("mulq", "a0", 2, "v0")
+        m2.ret()
+        mods.append(m2)
+        program = disassemble_image(link_modules(mods, entry="main"))
+        assert run_program(program).outputs == [11]  # 5*2 + 1
+        # And the optimizer works on the linked artifact.
+        from repro.opt.pipeline import optimize_program
+
+        result = optimize_program(program, verify=True)
+        assert result.behaviour_preserved()

@@ -1,0 +1,127 @@
+"""Tests for client-side liveness with call summaries (§2)."""
+
+from repro.cfg.build import build_cfg
+from repro.dataflow.liveness import (
+    SiteEffect,
+    effective_gen_kill,
+    instruction_liveness,
+    solve_liveness,
+)
+from repro.dataflow.regset import RegisterSet, TRACKED_MASK, mask_of
+from repro.isa.instructions import Instruction, Opcode
+from repro.program.asm import assemble
+from repro.program.disasm import disassemble_image
+
+
+def names(mask):
+    return RegisterSet.from_mask(mask).names()
+
+
+def cfg_of(source, routine="main"):
+    program = disassemble_image(assemble(source))
+    return build_cfg(program, program.routine(routine))
+
+
+class TestEffectiveGenKill:
+    def test_plain_instruction(self):
+        gen, kill = effective_gen_kill(Instruction(Opcode.ADDQ, ra=1, rb=2, rc=3))
+        assert names(gen) == {"t0", "t1"}
+        assert names(kill) == {"t2"}
+
+    def test_call_with_site_effect(self):
+        site = SiteEffect(gen=mask_of(["a0"]), kill=mask_of(["v0"]))
+        gen, kill = effective_gen_kill(
+            Instruction(Opcode.BSR, ra=26, displacement=0), site
+        )
+        assert names(gen) == {"a0"}       # call-used
+        assert names(kill) == {"v0", "ra"}  # call-defined + link register
+
+    def test_jsr_reads_target_register(self):
+        site = SiteEffect(gen=0, kill=0)
+        gen, _kill = effective_gen_kill(
+            Instruction(Opcode.JSR, ra=26, rb=27), site
+        )
+        assert "pv" in names(gen)
+
+
+class TestSolveLiveness:
+    def test_exit_live_seeds_liveness(self):
+        cfg = cfg_of(
+            """
+            .routine main
+                lda t0, 1(zero)
+                ret (ra)
+            """
+        )
+        exit_block = cfg.return_exits()[0]
+        result = solve_liveness(cfg, {}, {exit_block: mask_of(["t0"])})
+        # t0 defined inside, so not live at entry; ra is (the ret reads it).
+        assert "t0" not in names(result.live_in[0])
+        assert "ra" in names(result.live_in[0])
+        assert "t0" in names(result.live_out[exit_block])
+
+    def test_halt_exit_has_nothing_live(self):
+        cfg = cfg_of(".routine main\n halt\n")
+        result = solve_liveness(cfg, {}, {})
+        assert result.live_out[0] == 0
+
+    def test_unknown_jump_exit_everything_live(self):
+        cfg = cfg_of(".routine main\n jmp (t0)\n")
+        result = solve_liveness(cfg, {}, {})
+        assert result.live_out[0] == TRACKED_MASK
+
+    def test_call_summary_gen_kill(self):
+        cfg = cfg_of(
+            """
+            .routine main
+                lda t5, 1(zero)
+                bsr ra, f
+                halt
+            .routine f
+                ret (ra)
+            """
+        )
+        call_block = cfg.call_sites[0].block
+        # Callee uses a0 and defines v0.
+        effects = {call_block: SiteEffect(gen=mask_of(["a0"]), kill=mask_of(["v0"]))}
+        result = solve_liveness(cfg, effects, {})
+        assert "a0" in names(result.live_in[0])
+        # t5's def is dead (nothing uses it) but the def itself doesn't
+        # make t5 live-in.
+        assert "t5" not in names(result.live_in[0])
+
+    def test_branch_join_unions_liveness(self):
+        cfg = cfg_of(
+            """
+            .routine main
+                beq t0, other
+                bis zero, t1, a0
+                halt
+            other:
+                bis zero, t2, a0
+                halt
+            """
+        )
+        live_entry = names(solve_liveness(cfg, {}, {}).live_in[0])
+        assert {"t0", "t1", "t2"} <= live_entry
+
+
+class TestInstructionLiveness:
+    def test_per_instruction_walk(self):
+        cfg = cfg_of(
+            """
+            .routine main
+                lda t0, 1(zero)
+                addq t0, #1, t1
+                bis zero, t1, a0
+                output
+                halt
+            """
+        )
+        result = solve_liveness(cfg, {}, {})
+        live_after = instruction_liveness(result, 0, {})
+        assert len(live_after) == 5
+        assert "t0" in names(live_after[0])   # t0 still needed by addq
+        assert "t0" not in names(live_after[1])
+        assert "a0" in names(live_after[2])   # output reads a0
+        assert live_after[4] == 0             # after halt

@@ -1,0 +1,122 @@
+"""Tests for summary persistence and DOT export."""
+
+import pytest
+
+from repro.cfg.build import build_cfg
+from repro.interproc.analysis import analyze_program
+from repro.interproc.persist import (
+    SummaryFormatError,
+    dump_summaries,
+    image_fingerprint,
+    load_summaries,
+)
+from repro.program.rewrite import program_to_image
+from repro.reporting.dot import cfg_to_dot, psg_to_dot
+
+
+class TestPersistence:
+    def test_roundtrip_quick(self, quick_program):
+        analysis = analyze_program(quick_program)
+        blob = dump_summaries(analysis.result)
+        restored = load_summaries(blob)
+        assert restored.equal_summaries(analysis.result)
+        assert analysis.result.diff(restored) == []
+
+    def test_roundtrip_generated(self, small_benchmark):
+        analysis = analyze_program(small_benchmark)
+        blob = dump_summaries(analysis.result)
+        restored = load_summaries(blob)
+        assert restored.equal_summaries(analysis.result)
+
+    def test_roundtrip_with_hints(self):
+        from tests.test_hints import _dispatch_program
+
+        program = _dispatch_program()
+        analysis = analyze_program(program)
+        restored = load_summaries(dump_summaries(analysis.result))
+        site = restored["main"].call_sites[0]
+        assert set(site.site.targets) == {"alpha", "beta"}
+
+    def test_fingerprint_binding(self, quick_program):
+        analysis = analyze_program(quick_program)
+        image_bytes = program_to_image(quick_program).to_bytes()
+        fingerprint = image_fingerprint(image_bytes)
+        blob = dump_summaries(analysis.result, fingerprint)
+        # Matching fingerprint loads.
+        load_summaries(blob, fingerprint)
+        # Stale fingerprint is rejected.
+        with pytest.raises(SummaryFormatError, match="stale"):
+            load_summaries(blob, fingerprint ^ 1)
+        # Skipping the check loads regardless.
+        load_summaries(blob, 0)
+
+    def test_fingerprint_tracks_content(self):
+        assert image_fingerprint(b"abc") != image_fingerprint(b"abd")
+        assert image_fingerprint(b"abc") == image_fingerprint(b"abc")
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(SummaryFormatError, match="magic"):
+            load_summaries(b"NOPE" + b"\x00" * 16)
+
+    def test_truncation_rejected(self, quick_program):
+        analysis = analyze_program(quick_program)
+        blob = dump_summaries(analysis.result)
+        with pytest.raises(SummaryFormatError):
+            load_summaries(blob[:-3])
+
+    def test_trailing_garbage_rejected(self, quick_program):
+        analysis = analyze_program(quick_program)
+        blob = dump_summaries(analysis.result)
+        with pytest.raises(SummaryFormatError, match="trailing"):
+            load_summaries(blob + b"\x00")
+
+    def test_deterministic(self, small_benchmark):
+        analysis = analyze_program(small_benchmark)
+        assert dump_summaries(analysis.result) == dump_summaries(
+            analysis.result
+        )
+
+
+class TestDotExport:
+    def test_cfg_dot_shape(self, quick_program):
+        cfg = build_cfg(quick_program, quick_program.routine("main"))
+        dot = cfg_to_dot(cfg)
+        assert dot.startswith('digraph "main_cfg"')
+        assert dot.rstrip().endswith("}")
+        assert "b0" in dot
+        assert "->" in dot
+
+    def test_cfg_dot_truncates_long_blocks(self, quick_program):
+        cfg = build_cfg(quick_program, quick_program.routine("main"))
+        dot = cfg_to_dot(cfg, max_instructions=1)
+        assert "... +" in dot
+
+    def test_psg_dot_whole_program(self, quick_program):
+        analysis = analyze_program(quick_program)
+        dot = psg_to_dot(analysis.psg)
+        assert "entry@main:0" in dot
+        assert "entry@helper:0" in dot
+        assert "style=dashed" in dot  # the call-return edge
+
+    def test_psg_dot_single_routine(self, quick_program):
+        analysis = analyze_program(quick_program)
+        dot = psg_to_dot(analysis.psg, routine="main")
+        assert "entry@main:0" in dot
+        # helper's own nodes are excluded; only main's call-return edge
+        # may mention it as the callee label.
+        assert "entry@helper" not in dot
+        assert "exit@helper" not in dot
+
+    def test_psg_dot_edge_labels_optional(self, quick_program):
+        analysis = analyze_program(quick_program)
+        with_labels = psg_to_dot(analysis.psg, show_labels=True)
+        without = psg_to_dot(analysis.psg, show_labels=False)
+        assert "U:{" in with_labels
+        assert "U:{" not in without
+
+    def test_dot_valid_for_branch_nodes(self, switchy_benchmark):
+        analysis = analyze_program(switchy_benchmark)
+        dot = psg_to_dot(analysis.psg, show_labels=False)
+        assert "diamond" in dot  # at least one branch node rendered
+        # Balanced braces (cheap structural sanity).
+        assert dot.count("{") == dot.count("}") + dot.count("\\{")

@@ -1,0 +1,111 @@
+"""Phase-1/phase-2 dataflow, validated on the paper's Figure 2 example.
+
+``FIGURE2_SOURCE`` (conftest.py) reconstructs the paper's three
+routines with R0..R3 mapped to t0..t3.  The paper publishes the
+converged phase-1 sets for every entry node (§3.2) and the phase-2
+live-at-entry/exit sets of P2 (§2):
+
+    P1: MAY-USE = ∅        MAY-DEF = {R0,R1,R2,R3}  MUST-DEF = {R0,R1,R2}
+    P2: MAY-USE = {R1}     MAY-DEF = {R2,R3}        MUST-DEF = {R2}
+    P3: MAY-USE = ∅        MAY-DEF = {R1,R2,R3}     MUST-DEF = {R1,R2}
+
+    live-at-entry(P2) = {R0, R1}      live-at-exit(P2) = {R0}
+
+All assertions project onto {t0..t3} so the machine registers the
+example abstracts away (ra, sp, v0, ...) do not interfere.
+"""
+
+import pytest
+
+from repro.dataflow.regset import RegisterSet, mask_of
+from repro.interproc.analysis import analyze_program
+
+PAPER_REGS = mask_of(["t0", "t1", "t2", "t3"])
+
+
+def proj(mask: int):
+    return RegisterSet.from_mask(mask & PAPER_REGS).names()
+
+
+@pytest.fixture(scope="module")
+def figure2(figure2_program):
+    return analyze_program(figure2_program)
+
+
+class TestPhase1Figure2:
+    def test_p1_sets(self, figure2):
+        summary = figure2.summary("P1")
+        assert proj(summary.call_used_mask) == set()
+        assert proj(summary.call_killed_mask) == {"t0", "t1", "t2", "t3"}
+        assert proj(summary.call_defined_mask) == {"t0", "t1", "t2"}
+
+    def test_p2_sets(self, figure2):
+        summary = figure2.summary("P2")
+        assert proj(summary.call_used_mask) == {"t1"}
+        assert proj(summary.call_killed_mask) == {"t2", "t3"}
+        assert proj(summary.call_defined_mask) == {"t2"}
+
+    def test_p3_sets(self, figure2):
+        summary = figure2.summary("P3")
+        assert proj(summary.call_used_mask) == set()
+        assert proj(summary.call_killed_mask) == {"t1", "t2", "t3"}
+        assert proj(summary.call_defined_mask) == {"t1", "t2"}
+
+    def test_call_summary_instruction_for_p2(self, figure2):
+        """§2: the call-summary replacing a call to P2 uses R1, defines
+        R2 and kills {R2, R3}."""
+        site = figure2.summary("P1").call_sites[0]
+        assert site.site.callee == "P2"
+        assert proj(site.used_mask) == {"t1"}
+        assert proj(site.defined_mask) == {"t2"}
+        assert proj(site.killed_mask) == {"t2", "t3"}
+
+    def test_must_def_subset_of_may_def(self, figure2):
+        for summary in figure2.result:
+            assert (
+                summary.call_defined_mask & ~summary.call_killed_mask
+            ) & PAPER_REGS == 0
+
+
+class TestPhase2Figure2:
+    def test_live_at_entry_p2(self, figure2):
+        assert proj(figure2.summary("P2").live_at_entry_mask) == {"t0", "t1"}
+
+    def test_live_at_exit_p2(self, figure2):
+        summary = figure2.summary("P2")
+        exit_block = next(iter(summary.exit_live_masks))
+        assert proj(summary.exit_live_masks[exit_block]) == {"t0"}
+
+    def test_r0_live_because_of_return_path(self, figure2):
+        """R0 is live at P2's exit only because a return path reaches a
+        use of R0 in P1 — the valid-paths property."""
+        summary = figure2.summary("P2")
+        assert "t0" in proj(summary.live_at_any_exit_mask)
+        # P3's return point uses nothing, so nothing else appears.
+        assert proj(summary.live_at_any_exit_mask) == {"t0"}
+
+    def test_live_before_call_in_p1(self, figure2):
+        """Before P1's call, R0 (used after return) and R1 (used by the
+        callee) are live."""
+        site = figure2.summary("P1").call_sites[0]
+        assert proj(site.live_before_mask) == {"t0", "t1"}
+
+    def test_live_after_call_in_p1(self, figure2):
+        site = figure2.summary("P1").call_sites[0]
+        assert proj(site.live_after_mask) == {"t0"}
+
+    def test_live_after_call_in_p3(self, figure2):
+        site = figure2.summary("P3").call_sites[0]
+        assert proj(site.live_after_mask) == set()
+
+
+class TestConvergenceProperties:
+    def test_idempotent(self, figure2_program):
+        first = analyze_program(figure2_program)
+        second = analyze_program(figure2_program)
+        assert first.result.equal_summaries(second.result)
+
+    def test_summaries_idempotent_on_benchmark(self, small_benchmark):
+        first = analyze_program(small_benchmark)
+        second = analyze_program(small_benchmark)
+        assert first.result.equal_summaries(second.result)

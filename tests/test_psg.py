@@ -1,0 +1,213 @@
+"""Tests for PSG construction: nodes, edges, branch nodes, labeling modes."""
+
+import pytest
+
+from repro.cfg.build import build_all_cfgs
+from repro.dataflow.local import compute_program_local_sets
+from repro.program.asm import assemble
+from repro.program.disasm import disassemble_image
+from repro.psg.build import PsgBuildError, PsgConfig, build_psg, unknown_call_label
+from repro.psg.nodes import NodeKind
+from repro.isa.calling_convention import NT_ALPHA
+
+
+def build(program, config=None):
+    cfgs = build_all_cfgs(program)
+    local_sets = compute_program_local_sets(cfgs)
+    return build_psg(program, cfgs, local_sets, config)
+
+
+def edges_between(psg, routine):
+    """Set of (src kind, dst kind) pairs for one routine's flow edges."""
+    pairs = set()
+    for index in psg.routines[routine].flow_edge_indices:
+        edge = psg.flow_edges[index]
+        pairs.add(
+            (psg.nodes[edge.src].kind, psg.nodes[edge.dst].kind)
+        )
+    return pairs
+
+
+class TestFigure4Psg:
+    """Figure 4(b): entry, exit, call+return nodes; edges E_A, E_B, E_C, E_CR."""
+
+    def test_node_inventory(self, figure4_program):
+        psg = build(figure4_program)
+        routine = psg.routines["f"]
+        assert routine.node_count == 4  # entry + exit + call + return
+        kinds = [psg.nodes[n].kind for n in (
+            routine.entry_node,
+            routine.exit_nodes[0][0],
+            routine.call_pairs[0][0],
+            routine.call_pairs[0][1],
+        )]
+        assert kinds == [
+            NodeKind.ENTRY, NodeKind.EXIT, NodeKind.CALL, NodeKind.RETURN
+        ]
+
+    def test_three_flow_edges(self, figure4_program):
+        psg = build(figure4_program)
+        assert len(psg.routines["f"].flow_edge_indices) == 3
+        assert edges_between(psg, "f") == {
+            (NodeKind.ENTRY, NodeKind.EXIT),    # E_A
+            (NodeKind.ENTRY, NodeKind.CALL),    # E_B
+            (NodeKind.RETURN, NodeKind.EXIT),   # E_C
+        }
+
+    def test_call_return_edge(self, figure4_program):
+        psg = build(figure4_program)
+        routine = psg.routines["f"]
+        call_node, return_node, site = routine.call_pairs[0]
+        cr = [e for e in psg.call_return_edges if e.src == call_node]
+        assert len(cr) == 1
+        assert cr[0].dst == return_node
+        assert cr[0].callee == "g"
+
+    def test_check_passes(self, figure4_program):
+        build(figure4_program).check()
+
+
+class TestBranchNodes:
+    """Figure 12: a multiway branch with calls at each target in a loop."""
+
+    SOURCE = """
+        .routine main
+            li a0, 3
+            bsr ra, f
+            halt
+        .routine f
+            lda sp, -16(sp)
+            stq ra, 0(sp)
+        loop:
+            and  t0, #3, t1
+            li   t2, &T
+            sll  t1, #3, t1
+            addq t2, t1, t2
+            ldq  t2, 0(t2)
+            jmp  t2, [T]
+        c0: bsr ra, g
+            br next
+        c1: bsr ra, g
+            br next
+        c2: bsr ra, g
+            br next
+        c3: bsr ra, g
+            br next
+        .jumptable T: c0, c1, c2, c3
+        next:
+            subq t0, #1, t0
+            bgt  t0, loop
+            ldq  ra, 0(sp)
+            lda  sp, 16(sp)
+            ret  (ra)
+        .routine g
+            lda v0, 1(zero)
+            ret (ra)
+    """
+
+    def _program(self):
+        return disassemble_image(assemble(self.SOURCE))
+
+    def test_branch_node_created(self):
+        psg = build(self._program())
+        assert len(psg.routines["f"].branch_nodes) == 1
+        node = psg.nodes[psg.routines["f"].branch_nodes[0]]
+        assert node.kind == NodeKind.BRANCH
+
+    def test_branch_nodes_reduce_edges(self):
+        program = self._program()
+        with_nodes = build(program, PsgConfig(branch_nodes=True))
+        without = build(program, PsgConfig(branch_nodes=False))
+        assert with_nodes.flow_edge_count < without.flow_edge_count
+        # Node count grows by exactly the branch nodes.
+        assert with_nodes.node_count == without.node_count + 1
+
+    def test_without_branch_nodes_quadratic_edges(self):
+        """Every return reaches every call through the multiway branch."""
+        program = self._program()
+        psg = build(program, PsgConfig(branch_nodes=False))
+        pairs = edges_between(psg, "f")
+        assert (NodeKind.RETURN, NodeKind.CALL) in pairs
+
+    def test_threshold_disables_small_multiways(self):
+        program = self._program()
+        psg = build(program, PsgConfig(branch_nodes=True, multiway_threshold=5))
+        assert psg.routines["f"].branch_nodes == []
+
+
+class TestLabelingModes:
+    def test_per_edge_equals_per_target(self, small_benchmark):
+        """The paper-literal per-edge solve and the per-target solve must
+        produce identical edge labels."""
+        fast = build(small_benchmark, PsgConfig(per_edge_labeling=False))
+        slow = build(small_benchmark, PsgConfig(per_edge_labeling=True))
+        assert fast.node_count == slow.node_count
+        fast_labels = {
+            (e.src, e.dst): e.label for e in fast.flow_edges
+        }
+        slow_labels = {
+            (e.src, e.dst): e.label for e in slow.flow_edges
+        }
+        assert fast_labels == slow_labels
+
+
+class TestDivergenceDetection:
+    def test_boundary_free_infinite_loop_rejected(self):
+        program = disassemble_image(
+            assemble(
+                """
+                .routine main
+                spin:
+                    addq t0, #1, t0
+                    br spin
+                """
+            )
+        )
+        with pytest.raises(PsgBuildError, match="infinite loop"):
+            build(program)
+
+    def test_loop_with_call_accepted(self):
+        program = disassemble_image(
+            assemble(
+                """
+                .routine main
+                spin:
+                    bsr ra, f
+                    br spin
+                .routine f
+                    ret (ra)
+                """
+            )
+        )
+        build(program).check()
+
+
+class TestUnknownCallLabel:
+    def test_shape(self):
+        label = unknown_call_label(NT_ALPHA)
+        assert label.is_consistent()
+        # Arguments and ra are used; return registers defined; temporaries
+        # killed.
+        assert "a0" in label.may_use_set.names()
+        assert "ra" in label.may_use_set.names()
+        assert label.must_def_set.names() == {"v0", "f0", "f1"}
+        assert "t0" in label.may_def_set.names()
+        assert "s0" not in label.may_def_set.names()
+
+
+class TestStatistics:
+    def test_per_routine_averages(self, small_benchmark):
+        psg = build(small_benchmark)
+        averages = psg.per_routine_averages()
+        assert averages["psg_nodes_per_routine"] > 0
+        assert averages["psg_edges_per_routine"] > 0
+
+    def test_node_count_formula(self, small_benchmark):
+        psg = build(small_benchmark)
+        total = sum(r.node_count for r in psg.routines.values())
+        assert total == psg.node_count
+
+    def test_nodes_of_kind(self, figure4_program):
+        psg = build(figure4_program)
+        assert len(psg.nodes_of_kind(NodeKind.ENTRY)) == 3  # main, f, g
+        assert len(psg.nodes_of_kind(NodeKind.CALL)) == 2

@@ -1,0 +1,124 @@
+"""Tests for stage timing, the memory model, and table rendering."""
+
+import time
+
+import pytest
+
+from repro.interproc.analysis import analyze_program
+from repro.reporting.memory import (
+    DEFAULT_MODEL,
+    MemoryModel,
+    cfg_analysis_memory,
+    memory_breakdown,
+    psg_analysis_memory,
+)
+from repro.reporting.metrics import STAGE_NAMES, StageTimer, StageTimings
+from repro.reporting.tables import format_markdown_table, format_table
+
+
+class TestStageTimer:
+    def test_accumulates(self):
+        timer = StageTimer()
+        with timer.stage("phase1"):
+            time.sleep(0.002)
+        with timer.stage("phase1"):
+            time.sleep(0.002)
+        assert timer.timings.phase1 >= 0.004
+
+    def test_unknown_stage_rejected(self):
+        with pytest.raises(ValueError):
+            with StageTimer().stage("nonsense"):
+                pass
+
+    def test_total_and_fractions(self):
+        timings = StageTimings(
+            cfg_build=1.0, initialization=1.0, psg_build=1.0, phase1=0.5,
+            phase2=0.5,
+        )
+        assert timings.total == 4.0
+        fractions = timings.fractions()
+        assert fractions["cfg_build"] == 0.25
+        assert sum(fractions.values()) == pytest.approx(1.0)
+
+    def test_zero_total_fractions(self):
+        assert all(v == 0.0 for v in StageTimings().fractions().values())
+
+    def test_as_dict(self):
+        d = StageTimings(phase1=2.0).as_dict()
+        assert d["phase1"] == 2.0
+        assert d["total"] == 2.0
+        assert set(d) == set(STAGE_NAMES) | {"total"}
+
+    def test_analysis_populates_all_stages(self, small_benchmark):
+        analysis = analyze_program(small_benchmark)
+        for stage in STAGE_NAMES:
+            assert getattr(analysis.timings, stage) >= 0
+        assert analysis.timings.total > 0
+
+
+class TestMemoryModel:
+    def test_psg_memory_positive_and_composed(self, small_benchmark):
+        analysis = analyze_program(small_benchmark)
+        total = psg_analysis_memory(analysis.psg, analysis.cfgs)
+        breakdown = memory_breakdown(analysis.psg, analysis.cfgs)
+        assert total == sum(breakdown.values())
+        assert breakdown["psg_nodes"] == (
+            analysis.psg.node_count * DEFAULT_MODEL.psg_node_bytes
+        )
+
+    def test_cfg_mode_blocks_cost_more(self):
+        """§4: a CFG block holds 8 sets vs a PSG node's 3."""
+        assert (
+            DEFAULT_MODEL.block_bytes_cfg_mode
+            > DEFAULT_MODEL.block_bytes_psg_mode
+        )
+        assert DEFAULT_MODEL.block_bytes_cfg_mode == 8 * 8 + 16
+
+    def test_custom_model(self, small_benchmark):
+        analysis = analyze_program(small_benchmark)
+        doubled = MemoryModel(
+            psg_node_bytes=2 * DEFAULT_MODEL.psg_node_bytes,
+            psg_edge_bytes=2 * DEFAULT_MODEL.psg_edge_bytes,
+            block_bytes_psg_mode=2 * DEFAULT_MODEL.block_bytes_psg_mode,
+            block_bytes_cfg_mode=2 * DEFAULT_MODEL.block_bytes_cfg_mode,
+            arc_bytes=2 * DEFAULT_MODEL.arc_bytes,
+        )
+        assert psg_analysis_memory(analysis.psg, analysis.cfgs, doubled) == (
+            2 * psg_analysis_memory(analysis.psg, analysis.cfgs)
+        )
+
+    def test_cfg_analysis_memory(self, small_benchmark):
+        analysis = analyze_program(small_benchmark)
+        calls = sum(len(cfg.call_sites) for cfg in analysis.cfgs.values())
+        memory = cfg_analysis_memory(analysis.cfgs, 2 * calls)
+        assert memory > psg_analysis_memory(analysis.psg, analysis.cfgs) / 2
+
+
+class TestTables:
+    def test_alignment(self):
+        text = format_table(
+            ["Benchmark", "Time"],
+            [["compress", 0.05], ["gcc", 1.9]],
+            title="Table 2",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "Table 2"
+        # Title, header, separator, then the rows.
+        assert "compress" in lines[3]
+        # Numeric column right-aligned.
+        assert lines[3].rstrip().endswith("0.05")
+
+    def test_thousands_and_precision(self):
+        text = format_table(["n", "v"], [["x", 1234567], ["y", 12.345]])
+        assert "1,234,567" in text
+        assert "12.3" in text
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [["only-one"]])
+
+    def test_markdown(self):
+        text = format_markdown_table(["a", "b"], [[1, 2]])
+        assert text.splitlines()[0] == "| a | b |"
+        assert text.splitlines()[1] == "|---|---|"
+        assert "| 1 | 2 |" in text

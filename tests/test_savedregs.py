@@ -1,0 +1,200 @@
+"""Tests for callee-saved save/restore detection (§3.4)."""
+
+from repro.cfg.build import build_cfg
+from repro.dataflow.regset import RegisterSet
+from repro.interproc.savedregs import (
+    find_save_restore_sites,
+    saved_restored_registers,
+)
+from repro.isa.calling_convention import NT_ALPHA
+from repro.program.asm import assemble
+from repro.program.disasm import disassemble_image
+
+
+def detect(source, routine="f"):
+    program = disassemble_image(assemble(source, entry=routine))
+    cfg = build_cfg(program, program.routine(routine))
+    return saved_restored_registers(cfg, NT_ALPHA), cfg
+
+
+def names(mask):
+    return RegisterSet.from_mask(mask).names()
+
+
+STANDARD = """
+    .routine f export
+        lda sp, -16(sp)
+        stq s0, 0(sp)
+        addq a0, #1, s0
+        addq s0, #2, v0
+        ldq s0, 0(sp)
+        lda sp, 16(sp)
+        ret (ra)
+"""
+
+
+class TestDetection:
+    def test_standard_prologue_epilogue(self):
+        mask, _ = detect(STANDARD)
+        assert names(mask) == {"s0"}
+
+    def test_sites_carry_locations(self):
+        program = disassemble_image(assemble(STANDARD, entry="f"))
+        cfg = build_cfg(program, program.routine("f"))
+        sites = find_save_restore_sites(cfg, NT_ALPHA)
+        info = sites[RegisterSet(["s0"]).registers()[0].index]
+        assert info.slot == 0
+        assert info.save_index == 1
+        assert info.restore_indices == (4,)
+
+    def test_multiple_registers(self):
+        mask, _ = detect(
+            """
+            .routine f export
+                lda sp, -32(sp)
+                stq s0, 0(sp)
+                stq s1, 8(sp)
+                addq a0, #1, s0
+                addq a0, #2, s1
+                ldq s0, 0(sp)
+                ldq s1, 8(sp)
+                lda sp, 32(sp)
+                ret (ra)
+            """
+        )
+        assert names(mask) == {"s0", "s1"}
+
+    def test_every_exit_must_restore(self):
+        mask, _ = detect(
+            """
+            .routine f export
+                lda sp, -16(sp)
+                stq s0, 0(sp)
+                beq a0, early
+                ldq s0, 0(sp)
+                lda sp, 16(sp)
+                ret (ra)
+            early:
+                lda sp, 16(sp)      ; forgets to restore s0
+                ret (ra)
+            """
+        )
+        assert names(mask) == set()
+
+    def test_save_after_def_not_counted(self):
+        mask, _ = detect(
+            """
+            .routine f export
+                lda sp, -16(sp)
+                addq a0, #1, s0     ; defines s0 before the "save"
+                stq s0, 0(sp)
+                ldq s0, 0(sp)
+                lda sp, 16(sp)
+                ret (ra)
+            """
+        )
+        assert names(mask) == set()
+
+    def test_restore_from_wrong_slot_not_counted(self):
+        mask, _ = detect(
+            """
+            .routine f export
+                lda sp, -32(sp)
+                stq s0, 0(sp)
+                addq a0, #1, s0
+                ldq s0, 8(sp)       ; wrong slot
+                lda sp, 32(sp)
+                ret (ra)
+            """
+        )
+        assert names(mask) == set()
+
+    def test_def_after_restore_not_counted(self):
+        mask, _ = detect(
+            """
+            .routine f export
+                lda sp, -16(sp)
+                stq s0, 0(sp)
+                ldq s0, 0(sp)
+                addq a0, #1, s0     ; clobbers after restoring
+                lda sp, 16(sp)
+                ret (ra)
+            """
+        )
+        assert names(mask) == set()
+
+    def test_caller_saved_stores_ignored(self):
+        mask, _ = detect(
+            """
+            .routine f export
+                lda sp, -16(sp)
+                stq t0, 0(sp)
+                ldq t0, 0(sp)
+                lda sp, 16(sp)
+                ret (ra)
+            """
+        )
+        assert names(mask) == set()
+
+    def test_unknown_jump_exit_disqualifies(self):
+        mask, _ = detect(
+            """
+            .routine f export
+                lda sp, -16(sp)
+                stq s0, 0(sp)
+                ldq s0, 0(sp)
+                beq a0, out
+                jmp (t0)
+            out:
+                lda sp, 16(sp)
+                ret (ra)
+            """
+        )
+        assert names(mask) == set()
+
+    def test_float_saves(self):
+        mask, _ = detect(
+            """
+            .routine f export
+                lda sp, -16(sp)
+                stt f2, 0(sp)
+                addt f16, f17, f2
+                ldt f2, 0(sp)
+                lda sp, 16(sp)
+                ret (ra)
+            """
+        )
+        assert names(mask) == {"f2"}
+
+    def test_leaf_without_saves(self):
+        mask, _ = detect(".routine f export\n addq a0, #1, v0\n ret (ra)\n")
+        assert mask == 0
+
+
+class TestFilteringEffect:
+    def test_saved_register_filtered_from_summary(self):
+        """§3.4: the saved/restored register must not appear call-used,
+        call-killed or call-defined."""
+        from repro.interproc.analysis import analyze_program
+
+        program = disassemble_image(
+            assemble(
+                """
+                .routine main export
+                    lda sp, -16(sp)
+                    stq ra, 0(sp)
+                    bsr ra, f
+                    ldq ra, 0(sp)
+                    lda sp, 16(sp)
+                    halt
+                """ + STANDARD.replace(".routine f export", ".routine f")
+            )
+        )
+        analysis = analyze_program(program)
+        summary = analysis.summary("f")
+        assert "s0" not in summary.call_used.names()
+        assert "s0" not in summary.call_killed.names()
+        assert "s0" not in summary.call_defined.names()
+        assert "s0" in summary.saved_restored.names()
+        # But the incoming value of s0 IS needed (to save it): live at entry.
+        assert "s0" in summary.live_at_entry.names()
