@@ -128,6 +128,85 @@ class CallGraph:
             order.extend(component)
         return order
 
+    def condensation(self) -> "Condensation":
+        """The SCC condensation DAG (the incremental engine's
+        dependency map; see :mod:`repro.interproc.incremental`)."""
+        components = self.strongly_connected_components()
+        component_of: Dict[str, int] = {}
+        for index, component in enumerate(components):
+            for name in component:
+                component_of[name] = index
+        callee_components: List[Set[int]] = [set() for _ in components]
+        caller_components: List[Set[int]] = [set() for _ in components]
+        for index, component in enumerate(components):
+            for name in component:
+                for callee in self.callees_of(name):
+                    target = component_of[callee]
+                    if target != index:
+                        callee_components[index].add(target)
+                        caller_components[target].add(index)
+        return Condensation(
+            components=components,
+            component_of=component_of,
+            callee_components=callee_components,
+            caller_components=caller_components,
+        )
+
+
+@dataclass
+class Condensation:
+    """The call graph collapsed to its SCC DAG.
+
+    ``components`` lists SCCs in reverse topological (callee-first)
+    order, so iterating forward visits callees before callers — the
+    phase-1 processing order — and iterating backward visits callers
+    before callees — the phase-2 order.  Editing a routine dirties its
+    whole component plus, transitively, its caller components (whose
+    phase-1 summaries consume it) and its callee components (whose
+    phase-2 liveness consumes it).
+    """
+
+    #: SCCs, callee-first; each is a list of routine names.
+    components: List[List[str]]
+    #: routine name -> index into :attr:`components`.
+    component_of: Dict[str, int]
+    #: component index -> indices of components it calls into.
+    callee_components: List[Set[int]]
+    #: component index -> indices of components that call into it.
+    caller_components: List[Set[int]]
+
+    def component_index(self, routine: str) -> int:
+        return self.component_of[routine]
+
+    def members(self, index: int) -> List[str]:
+        return self.components[index]
+
+    def _closure(self, roots: Set[int], step: List[Set[int]]) -> Set[int]:
+        seen = set(roots)
+        stack = list(roots)
+        while stack:
+            for neighbor in step[stack.pop()]:
+                if neighbor not in seen:
+                    seen.add(neighbor)
+                    stack.append(neighbor)
+        return seen
+
+    def transitive_caller_components(self, roots: Set[int]) -> Set[int]:
+        """``roots`` plus every component that transitively calls into
+        them (the phase-1 invalidation cone)."""
+        return self._closure(roots, self.caller_components)
+
+    def transitive_callee_components(self, roots: Set[int]) -> Set[int]:
+        """``roots`` plus every component they transitively call into
+        (the phase-2 invalidation cone)."""
+        return self._closure(roots, self.callee_components)
+
+    def routines_of(self, indices: Set[int]) -> Set[str]:
+        names: Set[str] = set()
+        for index in indices:
+            names.update(self.components[index])
+        return names
+
 
 def build_call_graph(
     program: Program, cfgs: Optional[Dict[str, ControlFlowGraph]] = None

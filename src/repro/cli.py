@@ -4,7 +4,10 @@ Subcommands:
 
 * ``analyze <image>`` — run the interprocedural dataflow analysis on a
   SAX executable image and print per-routine summaries plus the §4
-  measurements (sizes, stage times, memory);
+  measurements (sizes, stage times, memory); with ``--incremental`` it
+  warm-starts from (and refreshes) a ``SUM2`` cache sidecar,
+  re-solving only routines whose content fingerprints changed, and
+  ``--stats`` prints the re-solved/reused work metrics;
 * ``disasm <image>`` — print a disassembly listing;
 * ``generate <benchmark> -o <image>`` — write a synthetic benchmark
   image (see :mod:`repro.workloads`);
@@ -16,14 +19,19 @@ Subcommands:
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
 from repro.dataflow.regset import RegisterSet
 from repro.interproc.analysis import analyze_image
+from repro.interproc.incremental import analyze_incremental
 from repro.interproc.persist import (
+    SummaryFormatError,
+    dump_cache,
     dump_summaries,
     image_fingerprint,
+    load_cache,
     load_summaries,
 )
 from repro.opt.pipeline import optimize_program
@@ -42,9 +50,79 @@ def _load(path: str) -> ExecutableImage:
         return ExecutableImage.from_bytes(handle.read())
 
 
+def _print_routine_summaries(result, names: List[str]) -> None:
+    print()
+    for name in names:
+        summary = result.summaries[name]
+        print(f"{name}:")
+        print(f"  call-used:     {summary.call_used!r}")
+        print(f"  call-defined:  {summary.call_defined!r}")
+        print(f"  call-killed:   {summary.call_killed!r}")
+        print(f"  live-at-entry: {summary.live_at_entry!r}")
+        for block, mask in sorted(summary.exit_live_masks.items()):
+            live = RegisterSet.from_mask(mask)
+            print(f"  live-at-exit[block {block}]: {live!r}")
+
+
+def _cmd_analyze_incremental(args: argparse.Namespace, image_bytes: bytes) -> int:
+    if args.annotate or args.dot:
+        print(
+            "--annotate/--dot need the whole-program PSG; "
+            "drop --incremental to use them",
+            file=sys.stderr,
+        )
+        return 2
+    cache_path = args.cache or args.image + ".sum2"
+    cache = None
+    cache_note = "cold (no cache file)"
+    if os.path.exists(cache_path):
+        try:
+            with open(cache_path, "rb") as handle:
+                cache = load_cache(handle.read())
+            cache_note = f"warm ({cache_path})"
+        except SummaryFormatError as error:
+            cache_note = f"cold (unreadable cache: {error})"
+    program = disassemble_image(ExecutableImage.from_bytes(image_bytes))
+    incremental = analyze_incremental(
+        program,
+        cache=cache,
+        image_fingerprint=image_fingerprint(image_bytes),
+    )
+    metrics = incremental.metrics
+    print(f"routines:      {program.routine_count}")
+    print(f"instructions:  {program.instruction_count}")
+    print(f"cache:         {cache_note}")
+    print(
+        f"reanalyzed:    {metrics.phase2_solved} routines  "
+        f"(reused {metrics.phase2_reused}, "
+        f"{len(metrics.dirty_routines)} dirty)"
+    )
+    if args.stats:
+        print()
+        print(metrics.render())
+    if args.routines:
+        _print_routine_summaries(incremental.result, args.routines)
+    if args.save_summaries:
+        blob = dump_summaries(
+            incremental.result, image_fingerprint(image_bytes)
+        )
+        with open(args.save_summaries, "wb") as handle:
+            handle.write(blob)
+        print(f"wrote summaries to {args.save_summaries}")
+    with open(cache_path, "wb") as handle:
+        handle.write(dump_cache(incremental.cache))
+    print(f"wrote cache to {cache_path}")
+    return 0
+
+
 def _cmd_analyze(args: argparse.Namespace) -> int:
     with open(args.image, "rb") as handle:
         image_bytes = handle.read()
+    if args.incremental:
+        return _cmd_analyze_incremental(args, image_bytes)
+    if args.stats:
+        print("--stats requires --incremental", file=sys.stderr)
+        return 2
     analysis = analyze_image(ExecutableImage.from_bytes(image_bytes))
     program = analysis.program
     print(f"routines:      {program.routine_count}")
@@ -59,17 +137,7 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     for stage, fraction in timings.fractions().items():
         print(f"  {stage:<16}{getattr(timings, stage):.3f} s  ({fraction:5.1%})")
     if args.routines:
-        print()
-        for name in args.routines:
-            summary = analysis.summary(name)
-            print(f"{name}:")
-            print(f"  call-used:     {summary.call_used!r}")
-            print(f"  call-defined:  {summary.call_defined!r}")
-            print(f"  call-killed:   {summary.call_killed!r}")
-            print(f"  live-at-entry: {summary.live_at_entry!r}")
-            for block, mask in sorted(summary.exit_live_masks.items()):
-                live = RegisterSet.from_mask(mask)
-                print(f"  live-at-exit[block {block}]: {live!r}")
+        _print_routine_summaries(analysis.result, args.routines)
     if args.annotate:
         print()
         print(render_annotated_listing(analysis, args.routines or None))
@@ -179,6 +247,21 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.add_argument(
         "--save-summaries", metavar="FILE",
         help="write a summary sidecar bound to the image's fingerprint",
+    )
+    analyze.add_argument(
+        "--incremental", action="store_true",
+        help=(
+            "reuse and refresh a summary cache sidecar, re-solving only "
+            "routines whose fingerprints changed (and their dependents)"
+        ),
+    )
+    analyze.add_argument(
+        "--cache", metavar="FILE", default=None,
+        help="cache sidecar path for --incremental (default: IMAGE.sum2)",
+    )
+    analyze.add_argument(
+        "--stats", action="store_true",
+        help="print incremental work metrics (requires --incremental)",
     )
     analyze.add_argument(
         "--dot", metavar="FILE", help="write the PSG as a Graphviz digraph"

@@ -13,6 +13,9 @@ The two-phase analysis over the Program Summary Graph:
   optimizer consumes;
 * :mod:`repro.interproc.analysis` — the top-level driver, with the
   stage timing and memory accounting the paper's §4 reports;
+* :mod:`repro.interproc.incremental` — fingerprint-scoped incremental
+  re-analysis over the call-graph SCC condensation, warm-started from
+  a persisted :class:`~repro.interproc.persist.SummaryCache`;
 * :mod:`repro.interproc.baseline` — the whole-program-CFG analysis
   [Srivastava93] used as the comparison baseline and as a correctness
   oracle for the PSG path.
@@ -36,9 +39,18 @@ from repro.interproc.savedregs import (
     saved_restored_registers,
 )
 from repro.interproc.baseline import analyze_program_baseline
+from repro.interproc.incremental import (
+    IncrementalAnalysis,
+    analyze_incremental,
+    routine_fingerprint,
+)
 from repro.interproc.persist import (
+    SummaryCache,
+    SummaryFormatError,
+    dump_cache,
     dump_summaries,
     image_fingerprint,
+    load_cache,
     load_summaries,
 )
 
@@ -46,16 +58,23 @@ __all__ = [
     "AnalysisConfig",
     "AnalysisResult",
     "CallSiteSummary",
+    "IncrementalAnalysis",
     "InterproceduralAnalysis",
     "RoutineSummary",
     "SaveRestoreSites",
     "StageTimings",
-    "find_save_restore_sites",
+    "SummaryCache",
+    "SummaryFormatError",
     "analyze_image",
+    "analyze_incremental",
     "analyze_program",
     "analyze_program_baseline",
+    "dump_cache",
     "dump_summaries",
+    "find_save_restore_sites",
     "image_fingerprint",
+    "load_cache",
     "load_summaries",
+    "routine_fingerprint",
     "saved_restored_registers",
 ]

@@ -1,0 +1,531 @@
+"""Incremental interprocedural re-analysis.
+
+A whole-program run (:func:`repro.interproc.analysis.analyze_program`)
+re-solves every routine even when one instruction changed.  Spike's
+workflow — optimize, measure, edit a hot routine, re-optimize — makes
+that wasteful: the phase-1 triples of an untouched routine depend only
+on its own code and its callees' triples, and its phase-2 liveness
+only on its callers' return-point liveness and its callees' triples.
+This module exploits that structure:
+
+* every routine gets a **content fingerprint** (a 64-bit CRC over its
+  encoded instruction words, its call-site target lists, and its
+  exported flag — exactly the inputs its CFG and local sets are a
+  function of);
+* the SCC **condensation** of the call graph is the dependency map:
+  editing a routine dirties its component; phase-1 dirt propagates to
+  transitive *callers*, phase-2 dirt to transitive *callees*;
+* a **change cutoff** stops propagation early: after re-solving a
+  component, its new answers are compared against the cache, and only
+  components whose consumed answers actually changed are re-solved in
+  turn;
+* dirty components are re-solved on a **partial PSG**
+  (:func:`repro.psg.build.build_partial_psg`): callees outside the
+  component appear as dummy entry nodes pinned at their cached triples
+  (``run_phase1(..., fixed_entries=...)``), and callers outside it
+  contribute their cached return-point liveness as exit seeds
+  (``run_phase2(..., extra_exit_live=...)``).
+
+The cache itself is a :class:`repro.interproc.persist.SummaryCache`
+(the versioned ``SUM2`` sidecar): the previous run's summaries plus
+the fingerprints that scope their validity.  A warm run with zero
+dirty routines performs *no* phase-1 or phase-2 solving at all — it
+builds CFGs, fingerprints them, and returns the cached result.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.isa.encoding import encode_stream
+from repro.program.model import Program, Routine
+from repro.cfg.build import build_all_cfgs
+from repro.cfg.callgraph import CallGraph, Condensation, build_call_graph
+from repro.cfg.cfg import ControlFlowGraph, ExitKind
+from repro.dataflow.equations import SummaryTriple
+from repro.dataflow.local import LocalSets, compute_local_sets
+from repro.dataflow.regset import TRACKED_MASK, mask_of
+from repro.interproc.analysis import AnalysisConfig, analyze_program
+from repro.interproc.persist import SummaryCache, crc64
+from repro.interproc.phase1 import run_phase1
+from repro.interproc.phase2 import run_phase2
+from repro.interproc.savedregs import saved_restored_registers
+from repro.interproc.summaries import (
+    AnalysisResult,
+    CallSiteSummary,
+    RoutineSummary,
+)
+from repro.psg.build import PartialPsg, build_partial_psg
+from repro.reporting.metrics import IncrementalMetrics
+
+
+def routine_fingerprint(routine: Routine, cfg: ControlFlowGraph) -> int:
+    """The 64-bit content fingerprint that scopes a cached summary.
+
+    Covers everything the routine's own analysis inputs are a function
+    of: the encoded instruction words, the resolved target list of each
+    call site (targets come from image hint tables, so they can change
+    while the code bytes do not), and the exported flag (it feeds the
+    §3.4/§3.5 externally-callable treatment).
+    """
+    parts: List[bytes] = [encode_stream(routine.instructions)]
+    parts.append(b"\x01" if routine.exported else b"\x00")
+    for site in cfg.call_sites:
+        parts.append(
+            struct.pack(
+                "<IIB", site.block, site.instruction_index, int(site.indirect)
+            )
+        )
+        for target in site.targets:
+            parts.append(target.encode("utf-8") + b"\x00")
+    return crc64(b"".join(parts))
+
+
+@dataclass
+class IncrementalAnalysis:
+    """The product of one incremental run.
+
+    ``result`` is the full, program-wide analysis result (recomputed
+    routines fresh, clean routines straight from the cache); ``cache``
+    is the refreshed :class:`SummaryCache` to persist for the next
+    run; ``metrics`` says how much work was actually done.
+    """
+
+    program: Program
+    config: AnalysisConfig
+    cfgs: Dict[str, ControlFlowGraph]
+    call_graph: CallGraph
+    result: AnalysisResult
+    cache: SummaryCache
+    metrics: IncrementalMetrics
+    condensation: Optional[Condensation] = None
+
+
+def analyze_incremental(
+    program: Program,
+    cache: Optional[SummaryCache] = None,
+    config: Optional[AnalysisConfig] = None,
+    image_fingerprint: int = 0,
+) -> IncrementalAnalysis:
+    """Analyze ``program``, reusing ``cache`` where fingerprints allow.
+
+    With ``cache=None`` this is a *cold* run: the full pipeline
+    executes once and the returned :attr:`IncrementalAnalysis.cache`
+    seeds future warm runs.  ``image_fingerprint`` is stored in the
+    refreshed cache (it scopes the ``SUM1`` sidecar; the incremental
+    engine itself invalidates per routine, not per image).
+    """
+    config = config or AnalysisConfig()
+    metrics = IncrementalMetrics(routines_total=program.routine_count)
+
+    if cache is None:
+        return _cold_run(program, config, image_fingerprint, metrics)
+
+    with metrics.stage("cfg_build"):
+        cfgs = build_all_cfgs(program)
+        call_graph = build_call_graph(program, cfgs)
+        condensation = call_graph.condensation()
+
+    with metrics.stage("fingerprint"):
+        fingerprints = {
+            name: routine_fingerprint(program.routine(name), cfgs[name])
+            for name in cfgs
+        }
+        dirty = {
+            name
+            for name, fingerprint in fingerprints.items()
+            if cache.routine_fingerprints.get(name) != fingerprint
+        }
+    metrics.dirty_routines = sorted(dirty)
+
+    engine = _WarmEngine(
+        program=program,
+        config=config,
+        cfgs=cfgs,
+        call_graph=call_graph,
+        condensation=condensation,
+        cache=cache,
+        dirty=dirty,
+        metrics=metrics,
+    )
+    result = engine.run()
+
+    new_cache = SummaryCache(
+        image_fingerprint=image_fingerprint,
+        result=result,
+        routine_fingerprints=fingerprints,
+        externally_callable=set(call_graph.externally_callable),
+    )
+    return IncrementalAnalysis(
+        program=program,
+        config=config,
+        cfgs=cfgs,
+        call_graph=call_graph,
+        result=result,
+        cache=new_cache,
+        metrics=metrics,
+        condensation=condensation,
+    )
+
+
+def _cold_run(
+    program: Program,
+    config: AnalysisConfig,
+    image_fingerprint: int,
+    metrics: IncrementalMetrics,
+) -> IncrementalAnalysis:
+    full = analyze_program(program, config)
+    metrics.cold = True
+    metrics.dirty_routines = sorted(full.cfgs)
+    count = len(full.cfgs)
+    metrics.phase1_solved = metrics.phase2_solved = count
+    metrics.phase1_iterations = full.phase1.iterations
+    metrics.phase2_iterations = full.phase2.iterations
+    sccs = len(full.call_graph.strongly_connected_components())
+    metrics.phase1_sccs_solved = metrics.phase2_sccs_solved = sccs
+    for name, value in full.timings.as_dict().items():
+        if name != "total":
+            metrics.seconds[name] = value
+    with metrics.stage("fingerprint"):
+        fingerprints = {
+            name: routine_fingerprint(program.routine(name), full.cfgs[name])
+            for name in full.cfgs
+        }
+    new_cache = SummaryCache(
+        image_fingerprint=image_fingerprint,
+        result=full.result,
+        routine_fingerprints=fingerprints,
+        externally_callable=set(full.call_graph.externally_callable),
+    )
+    return IncrementalAnalysis(
+        program=program,
+        config=config,
+        cfgs=full.cfgs,
+        call_graph=full.call_graph,
+        result=full.result,
+        cache=new_cache,
+        metrics=metrics,
+        condensation=None,
+    )
+
+
+def _triple_of(summary: RoutineSummary) -> SummaryTriple:
+    """A cached summary's phase-1 triple, in solver orientation."""
+    return SummaryTriple(
+        may_use=summary.call_used_mask,
+        may_def=summary.call_killed_mask,
+        must_def=summary.call_defined_mask,
+    )
+
+
+class _WarmEngine:
+    """One warm incremental solve, phase by phase, SCC by SCC."""
+
+    def __init__(
+        self,
+        program: Program,
+        config: AnalysisConfig,
+        cfgs: Dict[str, ControlFlowGraph],
+        call_graph: CallGraph,
+        condensation: Condensation,
+        cache: SummaryCache,
+        dirty: Set[str],
+        metrics: IncrementalMetrics,
+    ) -> None:
+        self.program = program
+        self.config = config
+        self.cfgs = cfgs
+        self.call_graph = call_graph
+        self.condensation = condensation
+        self.cache = cache
+        self.cached = cache.result.summaries
+        self.dirty = dirty
+        self.metrics = metrics
+        self.preserved = mask_of(
+            {config.convention.stack_pointer, config.convention.global_pointer}
+        )
+        # Lazily built per-routine inputs — only dirty cones pay for them.
+        self._local_sets: Dict[str, List[LocalSets]] = {}
+        self._saved: Dict[str, int] = {}
+        self._partials: Dict[int, PartialPsg] = {}
+        # Phase-1 state: current triples, and the change-cutoff set.
+        self.triples: Dict[str, SummaryTriple] = {}
+        self.changed1: Set[str] = set()
+        # Phase-2 state: components solved, members whose liveness
+        # outputs changed, and freshly assembled summaries.
+        self.solved2: Set[int] = set()
+        self.changed2: Set[str] = set()
+        self.fresh: Dict[str, RoutineSummary] = {}
+        # A deleted routine leaves no dirty fingerprint behind, but its
+        # former callees lose an exit-seed contributor — re-solve them.
+        self.orphaned: Set[str] = set()
+        for name in set(self.cached) - set(cfgs):
+            for site in self.cached[name].call_sites:
+                self.orphaned.update(site.site.targets)
+
+    # ------------------------------------------------------------------
+    # Lazy inputs
+    # ------------------------------------------------------------------
+
+    def _prepare_members(self, members: Sequence[str]) -> None:
+        with self.metrics.stage("initialization"):
+            for name in members:
+                if name in self._local_sets:
+                    continue
+                cfg = self.cfgs[name]
+                self._local_sets[name] = compute_local_sets(cfg)
+                self._saved[name] = (
+                    saved_restored_registers(cfg, self.config.convention)
+                    if self.config.callee_saved_filtering
+                    else 0
+                )
+
+    def _partial(self, index: int) -> PartialPsg:
+        partial = self._partials.get(index)
+        if partial is None:
+            members = self.condensation.members(index)
+            self._prepare_members(members)
+            with self.metrics.stage("psg_build"):
+                partial = build_partial_psg(
+                    self.cfgs, self._local_sets, members, self.config.psg
+                )
+            self._partials[index] = partial
+        return partial
+
+    @staticmethod
+    def _node_order(partial: PartialPsg) -> List[int]:
+        order: List[int] = []
+        for name in partial.members:
+            routine_psg = partial.psg.routines[name]
+            ids = [routine_psg.entry_node]
+            ids.extend(node for node, _kind in routine_psg.exit_nodes)
+            for call_node, return_node, _site in routine_psg.call_pairs:
+                ids.append(call_node)
+                ids.append(return_node)
+            ids.extend(routine_psg.branch_nodes)
+            order.extend(reversed(ids))
+        return order
+
+    # ------------------------------------------------------------------
+    # Phase 1 — callee-first, pinned external entries, change cutoff
+    # ------------------------------------------------------------------
+
+    def _phase1_needed(self, members: Sequence[str], member_set: Set[str]) -> bool:
+        for name in members:
+            if name in self.dirty or name not in self.cached:
+                return True
+            for callee in self.call_graph.callees_of(name):
+                if callee not in member_set and callee in self.changed1:
+                    return True
+        return False
+
+    def _run_phase1(self) -> None:
+        for index, members in enumerate(self.condensation.components):
+            member_set = set(members)
+            if not self._phase1_needed(members, member_set):
+                for name in members:
+                    self.triples[name] = _triple_of(self.cached[name])
+                    self.metrics.phase1_reused += 1
+                continue
+            partial = self._partial(index)
+            fixed = {
+                node_id: self.triples[callee]
+                for callee, node_id in partial.external_entries.items()
+            }
+            with self.metrics.stage("phase1"):
+                solution = run_phase1(
+                    partial.psg,
+                    self._saved,
+                    self.preserved,
+                    self._node_order(partial),
+                    fixed_entries=fixed,
+                )
+            self.metrics.phase1_sccs_solved += 1
+            self.metrics.phase1_iterations += solution.iterations
+            for name in members:
+                triple = solution.entry_triple(partial.psg, name)
+                self.triples[name] = triple
+                self.metrics.phase1_solved += 1
+                if (
+                    name not in self.cached
+                    or triple != _triple_of(self.cached[name])
+                ):
+                    self.changed1.add(name)
+
+    # ------------------------------------------------------------------
+    # Phase 2 — caller-first, seeded exits, change cutoff
+    # ------------------------------------------------------------------
+
+    def _live_after(self, caller: str, block: int) -> int:
+        """Current live-after mask of the call site in ``caller`` at
+        ``block`` (fresh if re-solved this run, else cached)."""
+        summary = self.fresh.get(caller) or self.cached.get(caller)
+        if summary is None:
+            return 0
+        for site in summary.call_sites:
+            if site.site.block == block:
+                return site.live_after_mask
+        return 0
+
+    def _exit_seed(self, name: str, member_set: Set[str]) -> int:
+        mask = 0
+        for caller, site in self.call_graph.callers_of(name):
+            if caller in member_set:
+                continue  # in-component flow happens inside the solve
+            mask |= self._live_after(caller, site.block)
+        return mask
+
+    def _phase2_needed(self, members: Sequence[str], member_set: Set[str]) -> bool:
+        was_external = self.cache.externally_callable
+        is_external = self.call_graph.externally_callable
+        for name in members:
+            if name in self.dirty or name not in self.cached:
+                return True
+            if name in self.orphaned:
+                return True
+            if (name in was_external) != (name in is_external):
+                return True
+            for callee in self.call_graph.callees_of(name):
+                if callee in self.changed1:
+                    return True
+            for caller, _site in self.call_graph.callers_of(name):
+                if caller not in member_set and caller in self.changed2:
+                    return True
+        return False
+
+    def _label_edges(self, partial: PartialPsg) -> None:
+        """Write the phase-1 triples onto the resolved call-return
+        edges (what ``run_phase1`` does at the end of a solve; needed
+        again here because a component can be phase-2-dirty without
+        having been phase-1-re-solved)."""
+        for edge in partial.psg.call_return_edges:
+            if edge.is_unknown:
+                continue
+            label_mu = 0
+            label_md = 0
+            label_xd = -1
+            for callee in edge.callees:
+                triple = self.triples[callee]
+                label_mu |= triple.may_use
+                label_md |= triple.may_def
+                label_xd &= triple.must_def
+            edge.label = SummaryTriple(
+                may_use=label_mu,
+                may_def=label_md,
+                must_def=label_xd & TRACKED_MASK,
+            )
+
+    def _run_phase2(self) -> None:
+        for index in range(len(self.condensation.components) - 1, -1, -1):
+            members = self.condensation.members(index)
+            member_set = set(members)
+            if not self._phase2_needed(members, member_set):
+                self.metrics.phase2_reused += len(members)
+                continue
+            partial = self._partial(index)
+            self._label_edges(partial)
+            seeds: Dict[int, int] = {}
+            for name in members:
+                seed = self._exit_seed(name, member_set)
+                if not seed:
+                    continue
+                for node_id in partial.psg.routines[name].return_exit_nodes():
+                    seeds[node_id] = seed
+            with self.metrics.stage("phase2"):
+                solution = run_phase2(
+                    partial.psg,
+                    self.call_graph.externally_callable,
+                    self.config.convention,
+                    self._node_order(partial),
+                    extra_exit_live=seeds,
+                )
+            self.solved2.add(index)
+            self.metrics.phase2_sccs_solved += 1
+            self.metrics.phase2_iterations += solution.iterations
+            with self.metrics.stage("assemble"):
+                for name in members:
+                    summary = self._assemble(partial, solution.may_use, name)
+                    self.fresh[name] = summary
+                    self.metrics.phase2_solved += 1
+                    if (
+                        name not in self.cached
+                        or not _same_liveness(summary, self.cached[name])
+                    ):
+                        self.changed2.add(name)
+
+    def _assemble(
+        self, partial: PartialPsg, may_use: List[int], name: str
+    ) -> RoutineSummary:
+        psg = partial.psg
+        routine_psg = psg.routines[name]
+        cr_by_src = {edge.src: edge for edge in psg.call_return_edges}
+
+        exit_live: Dict[int, int] = {}
+        exit_kinds: Dict[int, ExitKind] = {}
+        for node_id, kind in routine_psg.exit_nodes:
+            block = psg.nodes[node_id].block
+            exit_live[block] = may_use[node_id]
+            exit_kinds[block] = kind
+
+        call_sites: List[CallSiteSummary] = []
+        for call_node, return_node, site in routine_psg.call_pairs:
+            label = cr_by_src[call_node].label
+            call_sites.append(
+                CallSiteSummary(
+                    site=site,
+                    used_mask=label.may_use,
+                    defined_mask=label.must_def,
+                    killed_mask=label.may_def,
+                    live_before_mask=may_use[call_node],
+                    live_after_mask=may_use[return_node],
+                )
+            )
+
+        triple = self.triples[name]
+        return RoutineSummary(
+            name=name,
+            call_used_mask=triple.may_use,
+            call_defined_mask=triple.must_def,
+            call_killed_mask=triple.may_def,
+            live_at_entry_mask=may_use[routine_psg.entry_node],
+            exit_live_masks=exit_live,
+            exit_kinds=exit_kinds,
+            call_sites=call_sites,
+            saved_restored_mask=self._saved.get(name, 0),
+        )
+
+    # ------------------------------------------------------------------
+
+    def run(self) -> AnalysisResult:
+        self._run_phase1()
+        self._run_phase2()
+        summaries = {
+            name: self.fresh.get(name) or self.cached[name]
+            for name in self.cfgs
+        }
+        return AnalysisResult(summaries=summaries)
+
+
+def _same_liveness(fresh: RoutineSummary, cached: RoutineSummary) -> bool:
+    """True when the phase-2 outputs (the facts callees consume through
+    exit seeds) are unchanged — the phase-2 change cutoff."""
+    if (
+        fresh.live_at_entry_mask != cached.live_at_entry_mask
+        or dict(fresh.exit_live_masks) != dict(cached.exit_live_masks)
+    ):
+        return False
+    if len(fresh.call_sites) != len(cached.call_sites):
+        return False
+    for site_a, site_b in zip(fresh.call_sites, cached.call_sites):
+        if (
+            site_a.site.block != site_b.site.block
+            # A retargeted site redirects its live-after contribution
+            # even when the masks happen to coincide.
+            or site_a.site.targets != site_b.site.targets
+            or site_a.live_before_mask != site_b.live_before_mask
+            or site_a.live_after_mask != site_b.live_after_mask
+        ):
+            return False
+    return True

@@ -3,31 +3,68 @@
 A production post-link optimizer does not reanalyze the world on every
 invocation: it writes the interprocedural summaries next to the binary
 and reloads them while the binary is unchanged.  This module provides
-that sidecar ("SUM" format): a compact, versioned binary serialization
-of an :class:`~repro.interproc.summaries.AnalysisResult`, keyed by a
-fingerprint of the executable image so a stale sidecar is rejected.
+two sidecar formats:
 
-Layout (little-endian)::
+* **SUM1** — a compact, versioned binary serialization of an
+  :class:`~repro.interproc.summaries.AnalysisResult`, keyed by a
+  fingerprint of the executable image so a stale sidecar is rejected
+  wholesale;
+* **SUM2** — the incremental-analysis cache
+  (:class:`SummaryCache`): the same per-routine summary records, each
+  additionally carrying a 64-bit *routine* content fingerprint (code
+  bytes + call-site target list, see
+  :func:`repro.interproc.incremental.routine_fingerprint`) and an
+  externally-callable flag, so a warm run can invalidate at routine
+  granularity instead of all-or-nothing.
+
+SUM1 layout (little-endian)::
 
     magic "SUM1" | u64 image_fingerprint | u32 routine_count
     per routine:
       u16 name_len | name utf-8
-      u64 call_used | u64 call_defined | u64 call_killed
-      u64 live_at_entry | u64 saved_restored
-      u32 exit_count   | per exit:  u32 block | u8 kind | u64 live
-      u32 site_count   | per site:
-        u32 block | u32 instruction_index | u8 indirect
-        u16 target_count | per target: u16 len | utf-8
-        u64 used | u64 defined | u64 killed | u64 live_before | u64 live_after
+      <summary body>
+
+SUM2 layout (little-endian)::
+
+    magic "SUM2" | u64 image_fingerprint | u32 routine_count
+    per routine:
+      u16 name_len | name utf-8
+      u64 routine_fingerprint
+      u8 flags            (bit 0: externally callable)
+      <summary body>
+
+Shared summary body::
+
+    u64 call_used | u64 call_defined | u64 call_killed
+    u64 live_at_entry | u64 saved_restored
+    u32 exit_count   | per exit:  u32 block | u8 kind | u64 live
+    u32 site_count   | per site:
+      u32 block | u32 instruction_index | u8 indirect
+      u16 target_count | per target: u16 len | utf-8
+      u64 used | u64 defined | u64 killed | u64 live_before | u64 live_after
+
+Every malformed prefix — truncation at any byte offset, a bad magic,
+an invalid UTF-8 name, an unknown exit-kind code, a mask wider than
+the register file, or trailing bytes — raises
+:class:`SummaryFormatError`; callers never see ``struct.error`` or
+``IndexError``.
+
+Invalidation rules for SUM2 are implemented by
+:mod:`repro.interproc.incremental`: a routine whose fingerprint
+changed dirties its call-graph SCC, phase-1 results of its transitive
+*callers*, and phase-2 results of its transitive *callees* (see that
+module's docstring for the direction argument).
 """
 
 from __future__ import annotations
 
 import struct
 import zlib
-from typing import Dict, List
+from dataclasses import dataclass, field
+from typing import Dict, List, Set
 
 from repro.cfg.cfg import CallSite, ExitKind
+from repro.dataflow.regset import FULL_MASK
 from repro.interproc.summaries import (
     AnalysisResult,
     CallSiteSummary,
@@ -35,6 +72,7 @@ from repro.interproc.summaries import (
 )
 
 MAGIC = b"SUM1"
+MAGIC2 = b"SUM2"
 
 _U8 = struct.Struct("<B")
 _U16 = struct.Struct("<H")
@@ -48,14 +86,34 @@ _EXIT_KIND_CODES = {
 }
 _EXIT_KIND_BY_CODE = {code: kind for kind, code in _EXIT_KIND_CODES.items()}
 
+_FLAG_EXTERNALLY_CALLABLE = 1
+
 
 class SummaryFormatError(ValueError):
     """Raised for malformed or stale summary sidecars."""
 
 
+def crc64(data: bytes) -> int:
+    """A 64-bit content hash built from two independent CRC32 passes.
+
+    The low word is the plain CRC32; the high word is the CRC32 of the
+    byte-reversed input, which is not derivable from the first (CRC is
+    linear, but byte reversal is not a GF(2) automorphism of the
+    message space), so collisions require defeating both passes.
+    """
+    return zlib.crc32(data) | (zlib.crc32(data[::-1]) << 32)
+
+
 def image_fingerprint(image_bytes: bytes) -> int:
-    """A cheap content fingerprint of the executable image."""
-    return zlib.crc32(image_bytes) | (len(image_bytes) << 32)
+    """A cheap 64-bit content fingerprint of the executable image.
+
+    Historically this was ``crc32 | (len << 32)``, which discards the
+    CRC's collision resistance across images of equal length (any two
+    same-length images collide iff their CRC32s collide, and the
+    length word adds nothing).  It is now a full 64-bit hash; see
+    :func:`crc64`.
+    """
+    return crc64(image_bytes)
 
 
 class _Writer:
@@ -107,13 +165,133 @@ class _Reader:
     def u64(self) -> int:
         return self._unpack(_U64)
 
+    def mask(self) -> int:
+        value = self.u64()
+        if value & ~FULL_MASK:
+            raise SummaryFormatError(
+                f"register mask {value:#x} exceeds the register file"
+            )
+        return value
+
     def text(self) -> str:
         length = self.u16()
         if self.offset + length > len(self.blob):
             raise SummaryFormatError("truncated summary string")
-        value = self.blob[self.offset : self.offset + length].decode("utf-8")
+        raw = self.blob[self.offset : self.offset + length]
+        try:
+            value = raw.decode("utf-8")
+        except UnicodeDecodeError as error:
+            raise SummaryFormatError(f"invalid UTF-8 in summary: {error}") from None
         self.offset += length
         return value
+
+    def expect_end(self) -> None:
+        if self.offset != len(self.blob):
+            raise SummaryFormatError("trailing bytes after summaries")
+
+
+# ----------------------------------------------------------------------
+# Shared summary-body codec
+# ----------------------------------------------------------------------
+
+
+def _write_summary_body(writer: _Writer, summary: RoutineSummary) -> None:
+    writer.u64(summary.call_used_mask)
+    writer.u64(summary.call_defined_mask)
+    writer.u64(summary.call_killed_mask)
+    writer.u64(summary.live_at_entry_mask)
+    writer.u64(summary.saved_restored_mask)
+    exits = sorted(summary.exit_live_masks)
+    writer.u32(len(exits))
+    for block in exits:
+        writer.u32(block)
+        writer.u8(_EXIT_KIND_CODES[summary.exit_kinds[block]])
+        writer.u64(summary.exit_live_masks[block])
+    writer.u32(len(summary.call_sites))
+    for site in summary.call_sites:
+        writer.u32(site.site.block)
+        writer.u32(site.site.instruction_index)
+        writer.u8(1 if site.site.indirect else 0)
+        writer.u16(len(site.site.targets))
+        for target in site.site.targets:
+            writer.text(target)
+        writer.u64(site.used_mask)
+        writer.u64(site.defined_mask)
+        writer.u64(site.killed_mask)
+        writer.u64(site.live_before_mask)
+        writer.u64(site.live_after_mask)
+
+
+def _read_summary_body(reader: _Reader, name: str) -> RoutineSummary:
+    call_used = reader.mask()
+    call_defined = reader.mask()
+    call_killed = reader.mask()
+    live_at_entry = reader.mask()
+    saved_restored = reader.mask()
+    exit_live: Dict[int, int] = {}
+    exit_kinds: Dict[int, ExitKind] = {}
+    for _ in range(reader.u32()):
+        block = reader.u32()
+        code = reader.u8()
+        if code not in _EXIT_KIND_BY_CODE:
+            raise SummaryFormatError(f"unknown exit kind code {code}")
+        exit_kinds[block] = _EXIT_KIND_BY_CODE[code]
+        exit_live[block] = reader.mask()
+    sites: List[CallSiteSummary] = []
+    for _ in range(reader.u32()):
+        block = reader.u32()
+        instruction_index = reader.u32()
+        indirect = bool(reader.u8())
+        targets = tuple(reader.text() for _ in range(reader.u16()))
+        sites.append(
+            CallSiteSummary(
+                site=CallSite(
+                    block=block,
+                    instruction_index=instruction_index,
+                    targets=targets,
+                    indirect=indirect,
+                ),
+                used_mask=reader.mask(),
+                defined_mask=reader.mask(),
+                killed_mask=reader.mask(),
+                live_before_mask=reader.mask(),
+                live_after_mask=reader.mask(),
+            )
+        )
+    return RoutineSummary(
+        name=name,
+        call_used_mask=call_used,
+        call_defined_mask=call_defined,
+        call_killed_mask=call_killed,
+        live_at_entry_mask=live_at_entry,
+        exit_live_masks=exit_live,
+        exit_kinds=exit_kinds,
+        call_sites=sites,
+        saved_restored_mask=saved_restored,
+    )
+
+
+def _check_header(blob: bytes, magic: bytes) -> None:
+    if len(blob) < len(magic):
+        raise SummaryFormatError(
+            f"truncated summary file: {len(blob)} bytes is shorter than "
+            f"the {len(magic)}-byte magic"
+        )
+    if blob[: len(magic)] != magic:
+        raise SummaryFormatError(f"bad magic {blob[:len(magic)]!r}")
+
+
+def _check_fingerprint(fingerprint: int, expected: int) -> None:
+    if expected and fingerprint != expected:
+        raise SummaryFormatError(
+            f"stale summaries: fingerprint {fingerprint:#x} does not match "
+            f"image {expected:#x}"
+        )
+
+
+# ----------------------------------------------------------------------
+# SUM1: plain AnalysisResult sidecar
+# ----------------------------------------------------------------------
 
 
 def dump_summaries(result: AnalysisResult, fingerprint: int = 0) -> bytes:
@@ -124,32 +302,8 @@ def dump_summaries(result: AnalysisResult, fingerprint: int = 0) -> bytes:
     names = sorted(result.summaries)
     writer.u32(len(names))
     for name in names:
-        summary = result.summaries[name]
         writer.text(name)
-        writer.u64(summary.call_used_mask)
-        writer.u64(summary.call_defined_mask)
-        writer.u64(summary.call_killed_mask)
-        writer.u64(summary.live_at_entry_mask)
-        writer.u64(summary.saved_restored_mask)
-        exits = sorted(summary.exit_live_masks)
-        writer.u32(len(exits))
-        for block in exits:
-            writer.u32(block)
-            writer.u8(_EXIT_KIND_CODES[summary.exit_kinds[block]])
-            writer.u64(summary.exit_live_masks[block])
-        writer.u32(len(summary.call_sites))
-        for site in summary.call_sites:
-            writer.u32(site.site.block)
-            writer.u32(site.site.instruction_index)
-            writer.u8(1 if site.site.indirect else 0)
-            writer.u16(len(site.site.targets))
-            for target in site.site.targets:
-                writer.text(target)
-            writer.u64(site.used_mask)
-            writer.u64(site.defined_mask)
-            writer.u64(site.killed_mask)
-            writer.u64(site.live_before_mask)
-            writer.u64(site.live_after_mask)
+        _write_summary_body(writer, result.summaries[name])
     return writer.blob()
 
 
@@ -161,66 +315,98 @@ def load_summaries(
     Pass ``expected_fingerprint=0`` to skip the staleness check (e.g.
     for summaries not bound to a specific image).
     """
-    if blob[:4] != MAGIC:
-        raise SummaryFormatError(f"bad magic {blob[:4]!r}")
+    _check_header(blob, MAGIC)
     reader = _Reader(blob)
-    reader.offset = 4
-    fingerprint = reader.u64()
-    if expected_fingerprint and fingerprint != expected_fingerprint:
-        raise SummaryFormatError(
-            f"stale summaries: fingerprint {fingerprint:#x} does not match "
-            f"image {expected_fingerprint:#x}"
-        )
-    count = reader.u32()
+    reader.offset = len(MAGIC)
+    _check_fingerprint(reader.u64(), expected_fingerprint)
     summaries: Dict[str, RoutineSummary] = {}
-    for _ in range(count):
+    for _ in range(reader.u32()):
         name = reader.text()
-        call_used = reader.u64()
-        call_defined = reader.u64()
-        call_killed = reader.u64()
-        live_at_entry = reader.u64()
-        saved_restored = reader.u64()
-        exit_live: Dict[int, int] = {}
-        exit_kinds: Dict[int, ExitKind] = {}
-        for _ in range(reader.u32()):
-            block = reader.u32()
-            code = reader.u8()
-            if code not in _EXIT_KIND_BY_CODE:
-                raise SummaryFormatError(f"unknown exit kind code {code}")
-            exit_kinds[block] = _EXIT_KIND_BY_CODE[code]
-            exit_live[block] = reader.u64()
-        sites: List[CallSiteSummary] = []
-        for _ in range(reader.u32()):
-            block = reader.u32()
-            instruction_index = reader.u32()
-            indirect = bool(reader.u8())
-            targets = tuple(reader.text() for _ in range(reader.u16()))
-            sites.append(
-                CallSiteSummary(
-                    site=CallSite(
-                        block=block,
-                        instruction_index=instruction_index,
-                        targets=targets,
-                        indirect=indirect,
-                    ),
-                    used_mask=reader.u64(),
-                    defined_mask=reader.u64(),
-                    killed_mask=reader.u64(),
-                    live_before_mask=reader.u64(),
-                    live_after_mask=reader.u64(),
-                )
-            )
-        summaries[name] = RoutineSummary(
-            name=name,
-            call_used_mask=call_used,
-            call_defined_mask=call_defined,
-            call_killed_mask=call_killed,
-            live_at_entry_mask=live_at_entry,
-            exit_live_masks=exit_live,
-            exit_kinds=exit_kinds,
-            call_sites=sites,
-            saved_restored_mask=saved_restored,
-        )
-    if reader.offset != len(blob):
-        raise SummaryFormatError("trailing bytes after summaries")
+        summaries[name] = _read_summary_body(reader, name)
+    reader.expect_end()
     return AnalysisResult(summaries=summaries)
+
+
+# ----------------------------------------------------------------------
+# SUM2: the incremental-analysis cache
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class SummaryCache:
+    """A warm-start cache: summaries plus the fingerprints that scope
+    their validity.
+
+    ``routine_fingerprints[name]`` is the content fingerprint of the
+    routine whose summary is cached (code bytes + call-site target
+    lists); ``externally_callable`` records which routines received
+    the conservative phase-2 exit seeding, so a change in export /
+    address-taken status invalidates them even when their code did not
+    change.
+    """
+
+    image_fingerprint: int
+    result: AnalysisResult
+    routine_fingerprints: Dict[str, int] = field(default_factory=dict)
+    externally_callable: Set[str] = field(default_factory=set)
+
+    def __post_init__(self) -> None:
+        missing = set(self.result.summaries) - set(self.routine_fingerprints)
+        if missing:
+            raise ValueError(
+                f"cached routines without fingerprints: {sorted(missing)}"
+            )
+
+
+def dump_cache(cache: SummaryCache) -> bytes:
+    """Serialize a :class:`SummaryCache` in the SUM2 format."""
+    writer = _Writer()
+    writer.parts.append(MAGIC2)
+    writer.u64(cache.image_fingerprint)
+    names = sorted(cache.result.summaries)
+    writer.u32(len(names))
+    for name in names:
+        writer.text(name)
+        writer.u64(cache.routine_fingerprints[name])
+        flags = (
+            _FLAG_EXTERNALLY_CALLABLE
+            if name in cache.externally_callable
+            else 0
+        )
+        writer.u8(flags)
+        _write_summary_body(writer, cache.result.summaries[name])
+    return writer.blob()
+
+
+def load_cache(blob: bytes, expected_fingerprint: int = 0) -> SummaryCache:
+    """Parse a SUM2 cache sidecar; rejects stale image fingerprints.
+
+    As with :func:`load_summaries`, ``expected_fingerprint=0`` skips
+    the whole-image staleness check — the incremental engine does its
+    own per-routine invalidation, so a stale image is *not* an error
+    for it, just a cache with some dirty entries.
+    """
+    _check_header(blob, MAGIC2)
+    reader = _Reader(blob)
+    reader.offset = len(MAGIC2)
+    fingerprint = reader.u64()
+    _check_fingerprint(fingerprint, expected_fingerprint)
+    summaries: Dict[str, RoutineSummary] = {}
+    routine_fingerprints: Dict[str, int] = {}
+    externally_callable: Set[str] = set()
+    for _ in range(reader.u32()):
+        name = reader.text()
+        routine_fingerprints[name] = reader.u64()
+        flags = reader.u8()
+        if flags & ~_FLAG_EXTERNALLY_CALLABLE:
+            raise SummaryFormatError(f"unknown routine flags {flags:#x}")
+        if flags & _FLAG_EXTERNALLY_CALLABLE:
+            externally_callable.add(name)
+        summaries[name] = _read_summary_body(reader, name)
+    reader.expect_end()
+    return SummaryCache(
+        image_fingerprint=fingerprint,
+        result=AnalysisResult(summaries=summaries),
+        routine_fingerprints=routine_fingerprints,
+        externally_callable=externally_callable,
+    )

@@ -45,7 +45,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.dataflow.equations import SummaryTriple
 from repro.dataflow.regset import TRACKED_MASK
@@ -61,6 +61,9 @@ class Phase1Result:
     may_use: List[int]
     may_def: List[int]
     must_def: List[int]
+    #: Worklist iterations spent converging (both passes combined); the
+    #: incremental engine's work metric.
+    iterations: int = 0
 
     def entry_triple(self, psg: ProgramSummaryGraph, routine: str) -> SummaryTriple:
         """The (call-used, call-killed, call-defined) triple of a routine."""
@@ -98,6 +101,7 @@ def run_phase1(
     saved_restored: Dict[str, int],
     preserved_mask: int,
     seed_order: Sequence[int],
+    fixed_entries: Optional[Dict[int, SummaryTriple]] = None,
 ) -> Phase1Result:
     """Run phase 1 over ``psg``.
 
@@ -106,6 +110,12 @@ def run_phase1(
     is the initial worklist order (callee-first routine order converges
     fastest).  On return, every resolved call-return edge's ``label``
     holds the callee's final filtered entry sets.
+
+    ``fixed_entries`` pins boundary values: node id -> the already-
+    converged (MAY-USE, MAY-DEF, MUST-DEF) triple of a routine solved
+    in an earlier run.  Pinned nodes behave like exit nodes — their
+    values are never recomputed — which is how the incremental engine
+    stitches cached callee summaries into a partial PSG.
     """
     node_count = len(psg.nodes)
     nodes = psg.nodes
@@ -124,6 +134,12 @@ def run_phase1(
             may_def[node.id] = fixed.may_def
             must_def[node.id] = fixed.must_def
             is_exit[node.id] = True
+    if fixed_entries:
+        for node_id, triple in fixed_entries.items():
+            may_use[node_id] = triple.may_use
+            may_def[node_id] = triple.may_def
+            must_def[node_id] = triple.must_def
+            is_exit[node_id] = True
 
     entry_strip: Dict[int, int] = {}
     entry_strip_defs: Dict[int, int] = {}
@@ -179,7 +195,7 @@ def run_phase1(
         must_def[node_id] = xd_acc
         return changed
 
-    _iterate(node_count, seed_order, is_exit, dependents, defs_transfer)
+    iterations = _iterate(node_count, seed_order, is_exit, dependents, defs_transfer)
 
     # ------------------------------------------------------------------
     # Pass B: MAY-USE, with MUST-DEF now final
@@ -211,7 +227,7 @@ def run_phase1(
         may_use[node_id] = mu_acc
         return changed
 
-    _iterate(node_count, seed_order, is_exit, dependents, uses_transfer)
+    iterations += _iterate(node_count, seed_order, is_exit, dependents, uses_transfer)
 
     # Persist the final labels on the resolved call-return edges; phase 2
     # re-reads them ("retained for the second dataflow phase").
@@ -232,19 +248,28 @@ def run_phase1(
             must_def=label_xd & TRACKED_MASK,
         )
 
-    return Phase1Result(may_use=may_use, may_def=may_def, must_def=must_def)
+    return Phase1Result(
+        may_use=may_use,
+        may_def=may_def,
+        must_def=must_def,
+        iterations=iterations,
+    )
 
 
-def _iterate(node_count, seed_order, is_exit, dependents, transfer) -> None:
+def _iterate(node_count, seed_order, is_exit, dependents, transfer) -> int:
+    """Run a worklist pass; returns the number of node visits."""
     worklist = deque(node for node in seed_order if not is_exit[node])
     queued = [False] * node_count
     for node in worklist:
         queued[node] = True
+    visits = 0
     while worklist:
         node = worklist.popleft()
         queued[node] = False
+        visits += 1
         if transfer(node):
             for dependent in dependents[node]:
                 if not queued[dependent] and not is_exit[dependent]:
                     queued[dependent] = True
                     worklist.append(dependent)
+    return visits

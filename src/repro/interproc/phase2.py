@@ -31,7 +31,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Set
+from typing import Dict, List, Optional, Sequence, Set
 
 from repro.isa.calling_convention import CallingConvention
 from repro.dataflow.regset import TRACKED_MASK, mask_of
@@ -45,6 +45,8 @@ class Phase2Result:
     """Converged per-node MAY-USE (liveness) masks."""
 
     may_use: List[int]
+    #: Worklist iterations spent converging (incremental work metric).
+    iterations: int = 0
 
 
 def conservative_exit_live_mask(convention: CallingConvention) -> int:
@@ -65,8 +67,17 @@ def run_phase2(
     externally_callable: Set[str],
     convention: CallingConvention,
     seed_order: Sequence[int],
+    extra_exit_live: Optional[Dict[int, int]] = None,
 ) -> Phase2Result:
-    """Run phase 2 over a PSG whose call-return edges are labeled."""
+    """Run phase 2 over a PSG whose call-return edges are labeled.
+
+    ``extra_exit_live`` adds initial liveness at specific exit nodes
+    (node id -> mask), merged on top of the standard boundary
+    conditions.  The incremental engine uses it to inject the cached
+    live-after masks of *callers outside the partial PSG*: their
+    return-point liveness must still reach the exits of the routines
+    being re-solved, even though the callers themselves are not.
+    """
     node_count = len(psg.nodes)
     nodes = psg.nodes
     may_use = [0] * node_count
@@ -82,6 +93,9 @@ def run_phase2(
         elif node.exit_kind == ExitKind.RETURN and node.routine in externally_callable:
             may_use[node.id] = conservative
         # HALT and internal RETURN exits start at ∅.
+    if extra_exit_live:
+        for node_id, mask in extra_exit_live.items():
+            may_use[node_id] |= mask
 
     # return node id -> RETURN-kind exit node ids of every possible
     # callee (a hinted site's liveness flows to each candidate's exits).
@@ -112,9 +126,11 @@ def run_phase2(
             queued[node_id] = True
             worklist.append(node_id)
 
+    iterations = 0
     while worklist:
         node_id = worklist.popleft()
         queued[node_id] = False
+        iterations += 1
         mu_acc = 0
         for edge_index in psg.flow_out[node_id]:
             edge = flow_edges[edge_index]
@@ -138,4 +154,4 @@ def run_phase2(
                 for dependent in dependents[exit_node]:
                     enqueue(dependent)
 
-    return Phase2Result(may_use=may_use)
+    return Phase2Result(may_use=may_use, iterations=iterations)

@@ -109,6 +109,77 @@ def build_psg(
     return psg
 
 
+@dataclass
+class PartialPsg:
+    """A PSG over a subset of the program's routines.
+
+    ``external_entries`` maps each callee *outside* the subset to a
+    dummy entry node: the incremental engine pins those nodes at the
+    callee's already-known phase-1 triple (via ``run_phase1``'s
+    ``fixed_entries``), so calls leaving the subset read converged
+    summaries instead of re-solving the callee.  Dummy routines carry
+    no exit nodes, so phase 2's return-to-exit liveness copies stop at
+    the subset boundary (the boundary flow is injected as
+    ``extra_exit_live`` seeds instead).
+    """
+
+    psg: ProgramSummaryGraph
+    members: List[str]
+    external_entries: Dict[str, int]
+
+
+def build_partial_psg(
+    cfgs: Dict[str, ControlFlowGraph],
+    local_sets: Dict[str, Sequence[LocalSets]],
+    members: Sequence[str],
+    config: Optional[PsgConfig] = None,
+) -> PartialPsg:
+    """Build a PSG containing only ``members``, with dummy pinned-entry
+    nodes standing in for callees outside the subset."""
+    config = config or PsgConfig()
+    nodes: List[PSGNode] = []
+    flow_edges: List[FlowEdge] = []
+    call_return_edges: List[CallReturnEdge] = []
+    routines: Dict[str, RoutinePSG] = {}
+    member_set = set(members)
+    for name in members:
+        routines[name] = build_routine_psg(
+            cfgs[name],
+            local_sets[name],
+            config,
+            nodes,
+            flow_edges,
+            call_return_edges,
+        )
+    external_entries: Dict[str, int] = {}
+    for edge in call_return_edges:
+        for callee in edge.callees:
+            if callee in member_set or callee in external_entries:
+                continue
+            node = PSGNode(
+                id=len(nodes), kind=NodeKind.ENTRY, routine=callee, block=0
+            )
+            nodes.append(node)
+            external_entries[callee] = node.id
+            routines[callee] = RoutinePSG(
+                routine=callee,
+                entry_node=node.id,
+                exit_nodes=[],
+                call_pairs=[],
+                branch_nodes=[],
+            )
+    psg = ProgramSummaryGraph(
+        nodes=nodes,
+        flow_edges=flow_edges,
+        call_return_edges=call_return_edges,
+        routines=routines,
+    )
+    psg.check()
+    return PartialPsg(
+        psg=psg, members=list(members), external_entries=external_entries
+    )
+
+
 def build_routine_psg(
     cfg: ControlFlowGraph,
     local_sets: Sequence[LocalSets],

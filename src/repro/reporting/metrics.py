@@ -1,9 +1,15 @@
-"""Stage timing for the dataflow pipeline (Figure 13).
+"""Stage timing and incremental-analysis metrics.
 
 The paper breaks total analysis time into five stages: CFG Build,
 Initialization (DEF/UBD generation), PSG Build, Phase 1 and Phase 2.
 :class:`StageTimer` measures them with a monotonic clock and
 :class:`StageTimings` carries the results.
+
+:class:`IncrementalMetrics` instruments the incremental re-analysis
+engine (:mod:`repro.interproc.incremental`): routines re-solved versus
+reused per phase, SCCs solved, worklist iterations, and per-stage wall
+time — the numbers ``spike-analyze analyze --incremental --stats``
+prints and the warm/cold benchmarks report.
 """
 
 from __future__ import annotations
@@ -11,7 +17,7 @@ from __future__ import annotations
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Dict, Iterator
+from typing import Dict, Iterator, List
 
 #: Stage names, in pipeline order (the Figure-13 legend).
 STAGE_NAMES = ("cfg_build", "initialization", "psg_build", "phase1", "phase2")
@@ -68,3 +74,86 @@ class StageTimer:
         finally:
             elapsed = time.perf_counter() - start
             setattr(self.timings, name, getattr(self.timings, name) + elapsed)
+
+
+#: Incremental stage names, in pipeline order (superset of the paper's
+#: five: fingerprinting and summary assembly are incremental-only).
+INCREMENTAL_STAGES = (
+    "cfg_build",
+    "fingerprint",
+    "initialization",
+    "psg_build",
+    "phase1",
+    "phase2",
+    "assemble",
+)
+
+
+@dataclass
+class IncrementalMetrics:
+    """What one incremental analysis run did, and how long it took.
+
+    ``phaseN_solved`` counts routines whose phase-N answer was
+    recomputed this run; ``phaseN_reused`` counts routines whose
+    cached answer was kept.  ``solved + reused == routines_total`` per
+    phase on a warm run.
+    """
+
+    routines_total: int = 0
+    #: Routines whose content fingerprint changed (or that are new).
+    dirty_routines: List[str] = field(default_factory=list)
+    cold: bool = False
+    phase1_solved: int = 0
+    phase1_reused: int = 0
+    phase2_solved: int = 0
+    phase2_reused: int = 0
+    phase1_sccs_solved: int = 0
+    phase2_sccs_solved: int = 0
+    phase1_iterations: int = 0
+    phase2_iterations: int = 0
+    #: stage name -> wall seconds (keys from :data:`INCREMENTAL_STAGES`).
+    seconds: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(self.seconds.values())
+
+    @contextmanager
+    def stage(self, name: str) -> Iterator[None]:
+        """Time a ``with`` block under incremental stage ``name``."""
+        if name not in INCREMENTAL_STAGES:
+            raise ValueError(f"unknown incremental stage {name!r}")
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self.seconds[name] = self.seconds.get(name, 0.0) + elapsed
+
+    def render(self) -> str:
+        """The human-readable ``--stats`` block."""
+        lines = [
+            f"mode:               {'cold' if self.cold else 'warm'}",
+            f"routines:           {self.routines_total}",
+            f"dirty routines:     {len(self.dirty_routines)}"
+            + (
+                f"  ({', '.join(self.dirty_routines[:8])}"
+                + (", ..." if len(self.dirty_routines) > 8 else "")
+                + ")"
+                if self.dirty_routines
+                else ""
+            ),
+            f"phase1 solved:      {self.phase1_solved}  "
+            f"(reused {self.phase1_reused}, "
+            f"{self.phase1_sccs_solved} SCCs, "
+            f"{self.phase1_iterations} iterations)",
+            f"phase2 solved:      {self.phase2_solved}  "
+            f"(reused {self.phase2_reused}, "
+            f"{self.phase2_sccs_solved} SCCs, "
+            f"{self.phase2_iterations} iterations)",
+            f"total time:         {self.total_seconds:.3f} s",
+        ]
+        for name in INCREMENTAL_STAGES:
+            if name in self.seconds:
+                lines.append(f"  {name:<16}{self.seconds[name]:.3f} s")
+        return "\n".join(lines)

@@ -5,6 +5,16 @@ SUM sidecars.  Any change to the analysis' answers — intended or not —
 shows up here as a semantic diff, not just a byte diff, so refactors of
 the engines can be validated against frozen ground truth.
 
+History note: the original seed goldens were corrupted in transit, not
+wrong in substance — each seed ``.sum`` file was byte-for-byte the
+correct serialization with **every byte >= 0x80 deleted** (a 7-bit /
+text-mode stripping artifact; verifiable as
+``bytes(b for b in dump_summaries(result) if b < 0x80)`` reproduced
+all four seed files exactly).  They were regenerated from the
+unchanged analysis; no semantic value differed.
+``test_goldens_are_parseable`` below guards against that corruption
+class recurring: a stripped blob cannot survive a full parse.
+
 To regenerate after an *intended* semantic change::
 
     python -c "
@@ -41,6 +51,15 @@ CASES = {
     "figure4": figure4_program,
     "figure12": figure12_program,
 }
+
+
+@pytest.mark.parametrize("name", sorted(CASES))
+def test_goldens_are_parseable(name):
+    """The golden blobs themselves parse cleanly and re-serialize to the
+    identical bytes (catches byte-level corruption of the golden files,
+    e.g. the 7-bit stripping that mangled the original seed goldens)."""
+    blob = (GOLDEN_DIR / f"{name}.sum").read_bytes()
+    assert dump_summaries(load_summaries(blob)) == blob
 
 
 @pytest.mark.parametrize("name", sorted(CASES))
