@@ -80,7 +80,7 @@ def _cmd_analyze_incremental(args: argparse.Namespace, image_bytes: bytes) -> in
             with open(cache_path, "rb") as handle:
                 cache = load_cache(handle.read())
             cache_note = f"warm ({cache_path})"
-        except SummaryFormatError as error:
+        except (SummaryFormatError, OSError) as error:
             cache_note = f"cold (unreadable cache: {error})"
     program = disassemble_image(ExecutableImage.from_bytes(image_bytes))
     incremental = analyze_incremental(
@@ -109,9 +109,16 @@ def _cmd_analyze_incremental(args: argparse.Namespace, image_bytes: bytes) -> in
         with open(args.save_summaries, "wb") as handle:
             handle.write(blob)
         print(f"wrote summaries to {args.save_summaries}")
-    with open(cache_path, "wb") as handle:
-        handle.write(dump_cache(incremental.cache))
-    print(f"wrote cache to {cache_path}")
+    try:
+        with open(cache_path, "wb") as handle:
+            handle.write(dump_cache(incremental.cache))
+    except OSError as error:
+        print(
+            f"could not write cache to {cache_path}: {error}",
+            file=sys.stderr,
+        )
+    else:
+        print(f"wrote cache to {cache_path}")
     return 0
 
 

@@ -43,7 +43,7 @@ from repro.isa.encoding import encode_stream
 from repro.program.model import Program, Routine
 from repro.cfg.build import build_all_cfgs
 from repro.cfg.callgraph import CallGraph, Condensation, build_call_graph
-from repro.cfg.cfg import ControlFlowGraph, ExitKind
+from repro.cfg.cfg import CallSite, ControlFlowGraph, ExitKind
 from repro.dataflow.equations import SummaryTriple
 from repro.dataflow.local import LocalSets, compute_local_sets
 from repro.dataflow.regset import TRACKED_MASK, mask_of
@@ -258,12 +258,25 @@ class _WarmEngine:
         self.solved2: Set[int] = set()
         self.changed2: Set[str] = set()
         self.fresh: Dict[str, RoutineSummary] = {}
-        # A deleted routine leaves no dirty fingerprint behind, but its
-        # former callees lose an exit-seed contributor — re-solve them.
+        # A routine whose cached call sites name a target it no longer
+        # calls — deleted outright, or surviving but with the site
+        # dropped or retargeted by the edit — leaves that former callee
+        # with the removed site's live-after baked into its cached exit
+        # liveness.  The new call graph has no edge left to carry the
+        # retraction, so diff the cached target lists against it and
+        # re-solve the losers.  Clean survivors can be skipped: the
+        # fingerprint covers target lists, so theirs cannot have moved.
         self.orphaned: Set[str] = set()
-        for name in set(self.cached) - set(cfgs):
-            for site in self.cached[name].call_sites:
-                self.orphaned.update(site.site.targets)
+        for name, summary in self.cached.items():
+            if name in cfgs and name not in dirty:
+                continue
+            cached_targets: Set[str] = set()
+            for site in summary.call_sites:
+                cached_targets.update(site.site.targets)
+            current = (
+                set(call_graph.callees_of(name)) if name in cfgs else set()
+            )
+            self.orphaned.update(cached_targets - current)
 
     # ------------------------------------------------------------------
     # Lazy inputs
@@ -358,15 +371,19 @@ class _WarmEngine:
     # Phase 2 — caller-first, seeded exits, change cutoff
     # ------------------------------------------------------------------
 
-    def _live_after(self, caller: str, block: int) -> int:
-        """Current live-after mask of the call site in ``caller`` at
-        ``block`` (fresh if re-solved this run, else cached)."""
+    def _live_after(self, caller: str, site: CallSite) -> int:
+        """Current live-after mask of the call ``site`` in ``caller``
+        (fresh if re-solved this run, else cached)."""
         summary = self.fresh.get(caller) or self.cached.get(caller)
         if summary is None:
             return 0
-        for site in summary.call_sites:
-            if site.site.block == block:
-                return site.live_after_mask
+        for cached_site in summary.call_sites:
+            if (
+                cached_site.site.block == site.block
+                and cached_site.site.instruction_index
+                == site.instruction_index
+            ):
+                return cached_site.live_after_mask
         return 0
 
     def _exit_seed(self, name: str, member_set: Set[str]) -> int:
@@ -374,7 +391,7 @@ class _WarmEngine:
         for caller, site in self.call_graph.callers_of(name):
             if caller in member_set:
                 continue  # in-component flow happens inside the solve
-            mask |= self._live_after(caller, site.block)
+            mask |= self._live_after(caller, site)
         return mask
 
     def _phase2_needed(self, members: Sequence[str], member_set: Set[str]) -> bool:

@@ -198,6 +198,24 @@ _THREE_ROUTINES = _TWO_ROUTINES + """
     ret  (ra)
 """
 
+# `extra` survives but its call to `shared` is replaced by a same-size
+# ALU op — only `extra` is fingerprint-dirty, yet `shared` loses an
+# exit-seed contributor.
+_DROPPED_CALL = _THREE_ROUTINES.replace(
+    "bsr  ra, shared\n    ret", "addq a0, #1, a0\n    ret"
+)
+
+# As _THREE_ROUTINES plus a second leaf, and a variant where `extra`
+# redirects its call from `shared` to `other` (same-size edit again).
+_FOUR_ROUTINES = _THREE_ROUTINES + """
+.routine other
+    subq a0, #1, v0
+    ret  (ra)
+"""
+_RETARGETED_CALL = _FOUR_ROUTINES.replace(
+    "bsr  ra, shared\n    ret", "bsr  ra, other\n    ret"
+)
+
 
 def _asm(source: str) -> Program:
     return disassemble_image(assemble(source))
@@ -225,6 +243,43 @@ class TestStructuralEdits:
         # end of the image and nobody called it.  Its former callee
         # must still be re-solved (it lost an exit-seed contributor).
         assert warm.metrics.dirty_routines == []
+        assert dump_summaries(warm.result) == dump_summaries(full.result), (
+            warm.result.diff(full.result)
+        )
+
+    def test_surviving_caller_drops_its_call(self):
+        # A caller that keeps existing but whose call instruction is
+        # replaced by a same-size ALU op retracts a call edge without
+        # deleting any routine: the former callee must be re-solved or
+        # its cached exit liveness keeps the removed site's live-after.
+        before = _asm(_THREE_ROUTINES)
+        after = _asm(_DROPPED_CALL)
+        cold = analyze_incremental(before)
+        warm = analyze_incremental(after, cache=cold.cache)
+        full = analyze_program(after)
+        assert warm.metrics.dirty_routines == ["extra"]
+        assert dump_summaries(warm.result) == dump_summaries(full.result), (
+            warm.result.diff(full.result)
+        )
+        # The refreshed cache must be clean, not poisoned: a further
+        # warm run reuses everything and still matches from-scratch.
+        again = analyze_incremental(
+            after, cache=load_cache(dump_cache(warm.cache))
+        )
+        assert again.metrics.phase2_solved == 0
+        assert dump_summaries(again.result) == dump_summaries(full.result)
+
+    def test_surviving_caller_retargets_its_call(self):
+        # Same retraction, but the site swings to a different routine
+        # instead of disappearing: the old target loses a seed, the new
+        # one gains one, and both must end up byte-identical to a
+        # from-scratch analysis.
+        before = _asm(_FOUR_ROUTINES)
+        after = _asm(_RETARGETED_CALL)
+        cold = analyze_incremental(before)
+        warm = analyze_incremental(after, cache=cold.cache)
+        full = analyze_program(after)
+        assert warm.metrics.dirty_routines == ["extra"]
         assert dump_summaries(warm.result) == dump_summaries(full.result), (
             warm.result.diff(full.result)
         )
@@ -303,6 +358,27 @@ class TestIncrementalCli:
         ) == 0
         out = capsys.readouterr().out
         assert "unreadable cache" in out
+
+    def test_cache_path_is_directory_falls_back_to_cold(
+        self, tmp_path, capsys
+    ):
+        # An OSError on the cache read (here: the path is a directory)
+        # takes the same cold fallback as malformed content, and the
+        # failed cache write at the end is a warning, not a traceback.
+        image = tmp_path / "bench.img"
+        cache = tmp_path / "cachedir"
+        cache.mkdir()
+        cli.main(
+            ["generate", "compress", "--scale", "0.1", "--seed", "3",
+             "-o", str(image)]
+        )
+        capsys.readouterr()
+        assert cli.main(
+            ["analyze", str(image), "--incremental", "--cache", str(cache)]
+        ) == 0
+        captured = capsys.readouterr()
+        assert "unreadable cache" in captured.out
+        assert "could not write cache" in captured.err
 
     def test_stats_requires_incremental(self, tmp_path, capsys):
         image = tmp_path / "bench.img"
