@@ -17,8 +17,7 @@ import pytest
 
 from benchmarks.conftest import benchmark_program, record
 from repro.dataflow.regset import RegisterSet
-from repro.interproc.analysis import AnalysisConfig, analyze_program
-from repro.opt.pipeline import optimize_program
+from repro.api import AnalysisConfig, AnalysisSession
 from repro.psg.build import PsgConfig
 from repro.workloads.generator import GeneratorConfig, generate_program
 from repro.workloads.shapes import shape_by_name
@@ -32,12 +31,12 @@ def test_ablation_labeling_mode(benchmark, name):
     program, _scaled = benchmark_program(name)
 
     def run_both():
-        fast = analyze_program(
+        fast = AnalysisSession.from_program(
             program, AnalysisConfig(psg=PsgConfig(per_edge_labeling=False))
-        )
-        literal = analyze_program(
+        ).analyze()
+        literal = AnalysisSession.from_program(
             program, AnalysisConfig(psg=PsgConfig(per_edge_labeling=True))
-        )
+        ).analyze()
         return fast, literal
 
     fast, literal = benchmark.pedantic(run_both, rounds=1, iterations=1)
@@ -65,10 +64,10 @@ def test_ablation_callee_saved_filtering(benchmark, name):
     program = generate_program(shape, GeneratorConfig(seed=0))
 
     def run_both():
-        with_filter = analyze_program(program)
-        without = analyze_program(
+        with_filter = AnalysisSession.from_program(program).analyze()
+        without = AnalysisSession.from_program(
             program, AnalysisConfig(callee_saved_filtering=False)
-        )
+        ).analyze()
         return with_filter, without
 
     with_filter, without = benchmark.pedantic(run_both, rounds=1, iterations=1)
@@ -130,8 +129,8 @@ def test_ablation_call_target_hints(benchmark, name):
     stripped = dataclasses.replace(program, call_target_hints={})
 
     def run_both():
-        hinted = optimize_program(program, verify=True)
-        blind = optimize_program(stripped, verify=True)
+        hinted = AnalysisSession.from_program(program).optimize(verify=True)
+        blind = AnalysisSession.from_program(stripped).optimize(verify=True)
         return hinted, blind
 
     hinted, blind = benchmark.pedantic(run_both, rounds=1, iterations=1)

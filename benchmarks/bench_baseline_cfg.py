@@ -17,7 +17,7 @@ and the end-to-end time.
 import pytest
 
 from benchmarks.conftest import benchmark_program, record
-from repro.interproc.analysis import analyze_program
+from repro.api import AnalysisSession
 from repro.interproc.baseline import analyze_program_baseline
 
 COMPARED = ["compress", "li", "go", "perl", "gcc", "maxeda", "vc"]
@@ -39,7 +39,7 @@ def test_psg_vs_cfg_baseline(benchmark, name):
     program, _scaled = benchmark_program(name)
 
     def run_both():
-        psg = analyze_program(program)
+        psg = AnalysisSession.from_program(program).analyze()
         cfg = analyze_program_baseline(program)
         return psg, cfg
 

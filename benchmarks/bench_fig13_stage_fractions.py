@@ -9,8 +9,8 @@ the measured fractions for the same nine benchmarks.
 
 import pytest
 
-from benchmarks.conftest import benchmark_program, record
-from repro.interproc.analysis import analyze_program
+from benchmarks.conftest import analyze_serial, benchmark_program, record
+
 
 #: gcc + the eight PC applications, as in the paper's figure.
 FIGURE13_BENCHMARKS = [
@@ -33,7 +33,7 @@ HEADERS = (
 def test_fig13_row(benchmark, name):
     program, _scaled = benchmark_program(name)
     analysis = benchmark.pedantic(
-        analyze_program, args=(program,), rounds=1, iterations=1
+        analyze_serial, args=(program,), rounds=1, iterations=1
     )
     fractions = analysis.timings.fractions()
     record(

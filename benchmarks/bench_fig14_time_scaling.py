@@ -13,8 +13,8 @@ import math
 
 import pytest
 
-from benchmarks.conftest import record
-from repro.interproc.analysis import analyze_program
+from benchmarks.conftest import analyze_serial, record
+
 from repro.workloads.generator import GeneratorConfig, generate_program
 from repro.workloads.shapes import shape_by_name
 
@@ -37,7 +37,7 @@ def test_fig14_point(benchmark, scale):
     shape = shape_by_name("gcc").scaled(scale)
     program = generate_program(shape, GeneratorConfig(seed=0))
     analysis = benchmark.pedantic(
-        analyze_program, args=(program,), rounds=1, iterations=1
+        analyze_serial, args=(program,), rounds=1, iterations=1
     )
     blocks = analysis.basic_block_count
     elapsed = analysis.timings.total

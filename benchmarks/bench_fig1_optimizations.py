@@ -16,7 +16,7 @@ instructions.
 import pytest
 
 from benchmarks.conftest import record
-from repro.opt.pipeline import optimize_program
+from repro.api import AnalysisSession
 from repro.sim.cost_model import cycle_improvement
 from repro.workloads.generator import GeneratorConfig, generate_program
 from repro.workloads.shapes import shape_by_name
@@ -42,8 +42,11 @@ HEADERS = (
 def test_fig1_optimization_improvement(benchmark, name):
     shape = shape_by_name(name).scaled(0.1)
     program = generate_program(shape, GeneratorConfig(seed=0))
+    def optimize_via_session(target, verify):
+        return AnalysisSession.from_program(target).optimize(verify=verify)
+
     result = benchmark.pedantic(
-        optimize_program,
+        optimize_via_session,
         args=(program,),
         kwargs={"verify": True},
         rounds=1,

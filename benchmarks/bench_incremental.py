@@ -18,14 +18,9 @@ import time
 
 import pytest
 
-from benchmarks.conftest import benchmark_program, record
-from repro.interproc import (
-    analyze_incremental,
-    analyze_program,
-    dump_cache,
-    dump_summaries,
-    load_cache,
-)
+from benchmarks.conftest import analyze_serial, benchmark_program, record
+from repro.api import AnalysisSession
+from repro.interproc import dump_cache, dump_summaries, load_cache
 from repro.workloads.mutate import first_editable_routine, perturb_routine
 
 INCREMENTAL_BENCHMARKS = ["compress", "li", "perl", "vortex"]
@@ -48,7 +43,8 @@ def test_incremental_cold_vs_warm(benchmark, name):
 
     def measure():
         start = time.perf_counter()
-        cold = analyze_incremental(program)
+        session = AnalysisSession.from_program(program)
+        cold = session.analyze_incremental()
         cold_seconds = time.perf_counter() - start
 
         # Round-trip the cache through the SUM2 wire format, as a real
@@ -56,15 +52,17 @@ def test_incremental_cold_vs_warm(benchmark, name):
         cache = load_cache(dump_cache(cold.cache))
 
         start = time.perf_counter()
-        warm = analyze_incremental(program, cache=cache)
+        warm = session.analyze_incremental(cache=cache)
         warm_seconds = time.perf_counter() - start
 
         edited = perturb_routine(program, first_editable_routine(program))
         start = time.perf_counter()
-        full = analyze_program(edited)
+        full = analyze_serial(edited)
         full_seconds = time.perf_counter() - start
         start = time.perf_counter()
-        incr = analyze_incremental(edited, cache=load_cache(dump_cache(cold.cache)))
+        incr = AnalysisSession.from_program(edited).analyze_incremental(
+            cache=load_cache(dump_cache(cold.cache))
+        )
         incr_seconds = time.perf_counter() - start
         return cold, cold_seconds, warm, warm_seconds, full, full_seconds, incr, incr_seconds
 

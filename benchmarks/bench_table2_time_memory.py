@@ -15,8 +15,14 @@ largest inputs, (b) the relative ordering of the benchmarks, and
 
 import pytest
 
-from benchmarks.conftest import BENCHMARK_NAMES, benchmark_program, record, scale_for
-from repro.interproc.analysis import analyze_program
+from benchmarks.conftest import (
+    BENCHMARK_NAMES,
+    analyze_serial,
+    benchmark_program,
+    record,
+    scale_for,
+)
+
 from repro.workloads.shapes import shape_by_name
 
 HEADERS = (
@@ -36,7 +42,7 @@ def test_table2_row(benchmark, name):
     program, _scaled = benchmark_program(name)
     shape = shape_by_name(name)
     analysis = benchmark.pedantic(
-        analyze_program, args=(program,), rounds=1, iterations=1
+        analyze_serial, args=(program,), rounds=1, iterations=1
     )
     record(
         "Table 2: size, dataflow time and memory"

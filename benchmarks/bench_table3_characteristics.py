@@ -8,8 +8,13 @@ numbers.
 
 import pytest
 
-from benchmarks.conftest import BENCHMARK_NAMES, benchmark_program, record
-from repro.interproc.analysis import analyze_program
+from benchmarks.conftest import (
+    BENCHMARK_NAMES,
+    analyze_serial,
+    benchmark_program,
+    record,
+)
+
 from repro.program.model import program_statistics
 from repro.workloads.shapes import shape_by_name
 
@@ -33,7 +38,7 @@ def test_table3_row(benchmark, name):
     program, _scaled = benchmark_program(name)
     shape = shape_by_name(name)
     analysis = benchmark.pedantic(
-        analyze_program, args=(program,), rounds=1, iterations=1
+        analyze_serial, args=(program,), rounds=1, iterations=1
     )
     stats = program_statistics(program)
     routines = program.routine_count

@@ -9,8 +9,13 @@ edges/arc to 1.03).  Ratios are scale-invariant.
 
 import pytest
 
-from benchmarks.conftest import BENCHMARK_NAMES, benchmark_program, record
-from repro.interproc.analysis import analyze_program
+from benchmarks.conftest import (
+    BENCHMARK_NAMES,
+    analyze_serial,
+    benchmark_program,
+    record,
+)
+
 from repro.workloads.shapes import shape_by_name
 
 HEADERS = (
@@ -31,7 +36,7 @@ def test_table5_row(benchmark, name):
     program, _scaled = benchmark_program(name)
     shape = shape_by_name(name)
     analysis = benchmark.pedantic(
-        analyze_program, args=(program,), rounds=1, iterations=1
+        analyze_serial, args=(program,), rounds=1, iterations=1
     )
     psg = analysis.psg
     blocks = analysis.basic_block_count

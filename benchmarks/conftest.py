@@ -29,6 +29,7 @@ from typing import Dict, List, Sequence, Tuple
 
 import pytest
 
+from repro.api import AnalysisSession
 from repro.program.model import Program
 from repro.reporting.tables import format_table
 from repro.workloads.generator import GeneratorConfig, generate_program
@@ -58,6 +59,12 @@ def benchmark_program(name: str) -> Tuple[Program, BenchmarkShape]:
         program = generate_program(scaled, GeneratorConfig(seed=0))
         _PROGRAMS[name] = (program, scaled)
     return _PROGRAMS[name]
+
+
+def analyze_serial(program: Program):
+    """Serial whole-program analysis through the public facade (the
+    timed callable every table/figure benchmark measures)."""
+    return AnalysisSession.from_program(program).analyze()
 
 
 def record(

@@ -23,7 +23,7 @@ executables.  The package implements:
 
 Quickstart::
 
-    from repro import analyze_program, assemble, disassemble_image
+    from repro import AnalysisSession, assemble
 
     image = assemble('''
     .routine main export
@@ -36,11 +36,13 @@ Quickstart::
         addq a0, #1, v0
         ret  (ra)
     ''')
-    analysis = analyze_program(disassemble_image(image))
-    print(analysis.summary("inc").call_used)      # {a0, ra}
-    print(analysis.summary("inc").call_defined)   # {v0}
+    session = AnalysisSession.from_image(image)
+    analysis = session.analyze()                    # or analyze(jobs=4)
+    print(session.summary("inc").call_used)         # {a0, ra}
+    print(session.summary("inc").call_defined)      # {v0}
 """
 
+from repro.api import AnalysisError, AnalysisSession
 from repro.dataflow.regset import EMPTY_SET, UNIVERSE, RegisterSet
 from repro.interproc.analysis import (
     AnalysisConfig,
@@ -74,7 +76,9 @@ __version__ = "1.0.0"
 __all__ = [
     "ALL_SHAPES",
     "AnalysisConfig",
+    "AnalysisError",
     "AnalysisResult",
+    "AnalysisSession",
     "Assembler",
     "BenchmarkShape",
     "CallSiteSummary",

@@ -1,0 +1,307 @@
+"""The public analysis API: one session object, one config, one error.
+
+Everything the package can do to a program — analyze it (serial,
+sharded-parallel, or incrementally against a summary cache), optimize
+it, and report on the work — historically lived on free functions
+scattered across submodules (``repro.interproc.analysis``,
+``repro.interproc.incremental``, ``repro.opt.pipeline``).  Each grew
+its own entry point, its own way of accepting a program, and its own
+failure modes.  This module fronts them all with a single facade:
+
+>>> from repro.api import AnalysisSession
+>>> session = AnalysisSession.from_image_bytes(blob)
+>>> analysis = session.analyze(jobs=4)          # sharded parallel
+>>> session.summaries().summaries["main"].call_used
+>>> session.metrics()                           # JSON-ready stats
+
+Construction never analyzes; the first ``analyze*`` call does, and its
+products are retained on the session for ``summaries()``/``metrics()``.
+Failures that prevent an analysis from completing — a PSG that cannot
+represent the program, a diverging solver, a crashed worker process —
+are normalized to :class:`~repro.interproc.errors.AnalysisError`;
+unparseable images raise
+:class:`~repro.program.image.ImageFormatError` from the constructor
+instead, so callers can tell "bad input" from "analysis failed".
+
+The old free functions still work but are deprecated shims around this
+facade (they emit :class:`DeprecationWarning`); new code should not
+import them.
+
+Worker-count resolution, everywhere in the facade: an explicit
+``jobs=`` argument wins, then :attr:`AnalysisConfig.jobs`, then the
+``REPRO_JOBS`` environment variable, then 1 (serial).  0 or a negative
+value means "one worker per available CPU".
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.interproc.analysis import (
+    AnalysisConfig,
+    InterproceduralAnalysis,
+    _analyze_program,
+)
+from repro.interproc.errors import AnalysisError
+from repro.interproc.incremental import (
+    IncrementalAnalysis,
+    _analyze_incremental,
+)
+from repro.interproc.parallel import ParallelAnalysis, analyze_parallel
+from repro.interproc.persist import SummaryCache, image_fingerprint
+from repro.interproc.summaries import AnalysisResult, RoutineSummary
+from repro.program.disasm import disassemble_image
+from repro.program.image import ExecutableImage, ImageFormatError
+from repro.program.model import Program
+from repro.psg.build import PsgBuildError
+from repro.dataflow.solver import SolverDivergence
+
+__all__ = [
+    "AnalysisConfig",
+    "AnalysisError",
+    "AnalysisSession",
+]
+
+#: Environment variable consulted for the default worker count.
+JOBS_ENV_VAR = "REPRO_JOBS"
+
+#: Exceptions an analysis run normalizes into AnalysisError.
+_ANALYSIS_FAILURES = (PsgBuildError, SolverDivergence)
+
+
+def _jobs_from_env() -> Optional[int]:
+    raw = os.environ.get(JOBS_ENV_VAR)
+    if not raw:
+        return None
+    try:
+        return int(raw)
+    except ValueError:
+        raise AnalysisError(
+            f"{JOBS_ENV_VAR} must be an integer, got {raw!r}"
+        ) from None
+
+
+class AnalysisSession:
+    """One program plus everything analyzed about it so far.
+
+    Build one with :meth:`from_image_bytes`, :meth:`from_image`,
+    :meth:`from_path` or :meth:`from_program`; then call
+    :meth:`analyze`, :meth:`analyze_incremental` or :meth:`optimize`.
+    The session caches the most recent analysis, so
+    :meth:`summaries` and :meth:`metrics` never recompute — and
+    :meth:`optimize` is the only method that mutates nothing on the
+    session (it returns a new, optimized program).
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        config: Optional[AnalysisConfig] = None,
+        image_bytes: Optional[bytes] = None,
+    ) -> None:
+        self._program = program
+        self._config = config or AnalysisConfig()
+        self._image_bytes = image_bytes
+        self._last: Union[
+            InterproceduralAnalysis,
+            ParallelAnalysis,
+            IncrementalAnalysis,
+            None,
+        ] = None
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_image_bytes(
+        cls, data: bytes, config: Optional[AnalysisConfig] = None
+    ) -> "AnalysisSession":
+        """A session over a serialized SAX executable image.
+
+        Raises :class:`ImageFormatError` when ``data`` is not a valid
+        image — construction validates the input so the caller can
+        distinguish bad input from a later analysis failure.
+        """
+        image = ExecutableImage.from_bytes(data)
+        return cls(disassemble_image(image), config, image_bytes=data)
+
+    @classmethod
+    def from_image(
+        cls, image: ExecutableImage, config: Optional[AnalysisConfig] = None
+    ) -> "AnalysisSession":
+        """A session over an in-memory executable image."""
+        return cls(
+            disassemble_image(image), config, image_bytes=image.to_bytes()
+        )
+
+    @classmethod
+    def from_path(
+        cls, path: str, config: Optional[AnalysisConfig] = None
+    ) -> "AnalysisSession":
+        """A session over an image file on disk (``OSError`` on
+        unreadable files, :class:`ImageFormatError` on bad content)."""
+        with open(path, "rb") as handle:
+            return cls.from_image_bytes(handle.read(), config)
+
+    @classmethod
+    def from_program(
+        cls, program: Program, config: Optional[AnalysisConfig] = None
+    ) -> "AnalysisSession":
+        """A session over an already-decoded program."""
+        return cls(program, config)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def program(self) -> Program:
+        return self._program
+
+    @property
+    def config(self) -> AnalysisConfig:
+        return self._config
+
+    @property
+    def image_fingerprint(self) -> int:
+        """The image-content fingerprint (0 when the session was built
+        from a decoded program, which has no canonical byte form)."""
+        if self._image_bytes is None:
+            return 0
+        return image_fingerprint(self._image_bytes)
+
+    # ------------------------------------------------------------------
+    # Analyses
+    # ------------------------------------------------------------------
+
+    def _resolve_jobs(self, jobs: Optional[int]) -> int:
+        if jobs is None and self._config.jobs == 1:
+            jobs = _jobs_from_env()
+        from repro.interproc.parallel import resolve_jobs
+
+        return resolve_jobs(jobs, self._config)
+
+    def analyze(
+        self, jobs: Optional[int] = None
+    ) -> Union[InterproceduralAnalysis, ParallelAnalysis]:
+        """Run the full two-phase interprocedural analysis.
+
+        With an effective worker count of 1 this is the serial driver
+        (and the result exposes the whole-program PSG); above 1 the
+        sharded parallel solver runs, with bit-identical summaries.
+        """
+        effective = self._resolve_jobs(jobs)
+        try:
+            if effective > 1:
+                self._last = analyze_parallel(
+                    self._program, self._config, jobs=effective
+                )
+            else:
+                self._last = _analyze_program(self._program, self._config)
+        except AnalysisError:
+            raise
+        except _ANALYSIS_FAILURES as error:
+            raise AnalysisError(str(error)) from error
+        return self._last
+
+    def analyze_incremental(
+        self,
+        cache: Optional[SummaryCache] = None,
+        jobs: Optional[int] = None,
+    ) -> IncrementalAnalysis:
+        """Analyze incrementally against ``cache`` (cold when ``None``).
+
+        The returned :attr:`IncrementalAnalysis.cache` is the refreshed
+        cache to persist for the next warm run; with ``jobs > 1`` the
+        dirty shards are re-solved on a worker pool.
+        """
+        effective = self._resolve_jobs(jobs)
+        try:
+            self._last = _analyze_incremental(
+                self._program,
+                cache=cache,
+                config=self._config,
+                image_fingerprint=self.image_fingerprint,
+                jobs=effective,
+            )
+        except AnalysisError:
+            raise
+        except _ANALYSIS_FAILURES as error:
+            raise AnalysisError(str(error)) from error
+        return self._last
+
+    def optimize(
+        self,
+        passes: Optional[Sequence[str]] = None,
+        verify: bool = False,
+        max_steps: int = 5_000_000,
+    ):
+        """Run the Figure-1 optimization pipeline on the program.
+
+        Returns an :class:`repro.opt.pipeline.OptimizationResult`; the
+        session itself is unchanged (build a new session from
+        ``result.optimized`` to analyze the optimized program).
+        """
+        from repro.opt.pipeline import PASS_NAMES, _optimize_program
+
+        try:
+            return _optimize_program(
+                self._program,
+                passes=PASS_NAMES if passes is None else passes,
+                config=self._config,
+                verify=verify,
+                max_steps=max_steps,
+            )
+        except AnalysisError:
+            raise
+        except _ANALYSIS_FAILURES as error:
+            raise AnalysisError(str(error)) from error
+
+    # ------------------------------------------------------------------
+    # Results of the most recent analysis
+    # ------------------------------------------------------------------
+
+    def summaries(self) -> AnalysisResult:
+        """Per-routine summaries of the most recent analysis (running a
+        serial :meth:`analyze` first if none has been run)."""
+        if self._last is None:
+            self.analyze()
+        assert self._last is not None
+        return self._last.result
+
+    def summary(self, routine: str) -> RoutineSummary:
+        return self.summaries().summaries[routine]
+
+    def metrics(self) -> Dict[str, object]:
+        """JSON-ready metrics of the most recent analysis.
+
+        Always includes ``kind`` (``"serial"``, ``"parallel"`` or
+        ``"incremental"``) and ``routines``; the remaining keys depend
+        on the kind (stage timings for serial runs, shard/utilization
+        records for parallel runs, solved/reused counts — plus a
+        ``parallel`` sub-object when applicable — for incremental
+        runs).  Empty when nothing has been analyzed yet.
+        """
+        last = self._last
+        if last is None:
+            return {}
+        payload: Dict[str, object] = {
+            "routines": self._program.routine_count,
+        }
+        if isinstance(last, InterproceduralAnalysis):
+            payload["kind"] = "serial"
+            payload["stage_seconds"] = last.timings.as_dict()
+            payload["memory_bytes"] = last.memory_bytes
+            payload["psg_nodes"] = last.psg.node_count
+            payload["psg_edges"] = last.psg.edge_count
+        elif isinstance(last, ParallelAnalysis):
+            payload["kind"] = "parallel"
+            payload.update(last.metrics.as_dict())
+        else:
+            payload["kind"] = "incremental"
+            payload.update(last.metrics.as_dict())
+            if last.parallel is not None:
+                payload["parallel"] = last.parallel.as_dict()
+        return payload

@@ -4,28 +4,38 @@ Subcommands:
 
 * ``analyze <image>`` — run the interprocedural dataflow analysis on a
   SAX executable image and print per-routine summaries plus the §4
-  measurements (sizes, stage times, memory); with ``--incremental`` it
-  warm-starts from (and refreshes) a ``SUM2`` cache sidecar,
-  re-solving only routines whose content fingerprints changed, and
-  ``--stats`` prints the re-solved/reused work metrics;
+  measurements (sizes, stage times, memory); ``--jobs N`` solves on a
+  sharded worker pool (bit-identical results), ``--incremental``
+  warm-starts from (and refreshes) a ``SUM2`` cache sidecar, and
+  ``--json`` emits one machine-readable stats object instead of text;
 * ``disasm <image>`` — print a disassembly listing;
 * ``generate <benchmark> -o <image>`` — write a synthetic benchmark
   image (see :mod:`repro.workloads`);
 * ``optimize <image> -o <image>`` — run the Figure-1 optimization
   pipeline and write the rewritten image;
 * ``run <image>`` — execute an image in the interpreter.
+
+All analysis goes through :class:`repro.api.AnalysisSession`.  Exit
+codes are distinct per failure class so scripts can tell them apart:
+
+* 0 — success;
+* 2 — usage error (bad flags or flag combinations);
+* 3 — the input image could not be read or parsed;
+* 4 — the analysis itself failed (:class:`AnalysisError`);
+* 5 — the analysis succeeded but the cache sidecar could not be
+  written (the run's output is still printed).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 from typing import List, Optional
 
+from repro.api import AnalysisError, AnalysisSession
 from repro.dataflow.regset import RegisterSet
-from repro.interproc.analysis import analyze_image
-from repro.interproc.incremental import analyze_incremental
 from repro.interproc.persist import (
     SummaryFormatError,
     dump_cache,
@@ -34,15 +44,20 @@ from repro.interproc.persist import (
     load_cache,
     load_summaries,
 )
-from repro.opt.pipeline import optimize_program
 from repro.program.disasm import disassemble_image, render_listing
-from repro.program.image import ExecutableImage
+from repro.program.image import ExecutableImage, ImageFormatError
 from repro.program.rewrite import program_to_image
 from repro.reporting.annotate import render_annotated_listing
 from repro.reporting.dot import psg_to_dot
 from repro.sim.interpreter import run_program
 from repro.workloads.generator import GeneratorConfig, generate_image
 from repro.workloads.shapes import ALL_SHAPES, shape_by_name
+
+EXIT_OK = 0
+EXIT_USAGE = 2
+EXIT_BAD_IMAGE = 3
+EXIT_ANALYSIS = 4
+EXIT_CACHE_IO = 5
 
 
 def _load(path: str) -> ExecutableImage:
@@ -64,14 +79,16 @@ def _print_routine_summaries(result, names: List[str]) -> None:
             print(f"  live-at-exit[block {block}]: {live!r}")
 
 
-def _cmd_analyze_incremental(args: argparse.Namespace, image_bytes: bytes) -> int:
+def _cmd_analyze_incremental(
+    args: argparse.Namespace, session: AnalysisSession, image_bytes: bytes
+) -> int:
     if args.annotate or args.dot:
         print(
             "--annotate/--dot need the whole-program PSG; "
             "drop --incremental to use them",
             file=sys.stderr,
         )
-        return 2
+        return EXIT_USAGE
     cache_path = args.cache or args.image + ".sum2"
     cache = None
     cache_note = "cold (no cache file)"
@@ -82,24 +99,29 @@ def _cmd_analyze_incremental(args: argparse.Namespace, image_bytes: bytes) -> in
             cache_note = f"warm ({cache_path})"
         except (SummaryFormatError, OSError) as error:
             cache_note = f"cold (unreadable cache: {error})"
-    program = disassemble_image(ExecutableImage.from_bytes(image_bytes))
-    incremental = analyze_incremental(
-        program,
-        cache=cache,
-        image_fingerprint=image_fingerprint(image_bytes),
-    )
+    incremental = session.analyze_incremental(cache=cache, jobs=args.jobs)
     metrics = incremental.metrics
-    print(f"routines:      {program.routine_count}")
-    print(f"instructions:  {program.instruction_count}")
-    print(f"cache:         {cache_note}")
-    print(
-        f"reanalyzed:    {metrics.phase2_solved} routines  "
-        f"(reused {metrics.phase2_reused}, "
-        f"{len(metrics.dirty_routines)} dirty)"
-    )
-    if args.stats:
-        print()
-        print(metrics.render())
+    program = session.program
+    if args.json:
+        payload = session.metrics()
+        payload["instructions"] = program.instruction_count
+        payload["cache"] = cache_note
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(f"routines:      {program.routine_count}")
+        print(f"instructions:  {program.instruction_count}")
+        print(f"cache:         {cache_note}")
+        print(
+            f"reanalyzed:    {metrics.phase2_solved} routines  "
+            f"(reused {metrics.phase2_reused}, "
+            f"{len(metrics.dirty_routines)} dirty)"
+        )
+        if args.stats:
+            print()
+            print(metrics.render())
+            if incremental.parallel is not None:
+                print()
+                print(incremental.parallel.render())
     if args.routines:
         _print_routine_summaries(incremental.result, args.routines)
     if args.save_summaries:
@@ -117,32 +139,65 @@ def _cmd_analyze_incremental(args: argparse.Namespace, image_bytes: bytes) -> in
             f"could not write cache to {cache_path}: {error}",
             file=sys.stderr,
         )
-    else:
-        print(f"wrote cache to {cache_path}")
-    return 0
+        return EXIT_CACHE_IO
+    print(f"wrote cache to {cache_path}")
+    return EXIT_OK
 
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
-    with open(args.image, "rb") as handle:
-        image_bytes = handle.read()
-    if args.incremental:
-        return _cmd_analyze_incremental(args, image_bytes)
-    if args.stats:
-        print("--stats requires --incremental", file=sys.stderr)
-        return 2
-    analysis = analyze_image(ExecutableImage.from_bytes(image_bytes))
-    program = analysis.program
-    print(f"routines:      {program.routine_count}")
-    print(f"instructions:  {program.instruction_count}")
-    print(f"basic blocks:  {analysis.basic_block_count}")
-    print(f"cfg arcs:      {analysis.cfg_arc_count}")
-    print(f"psg nodes:     {analysis.psg.node_count}")
-    print(f"psg edges:     {analysis.psg.edge_count}")
-    print(f"memory model:  {analysis.memory_bytes / 1e6:.2f} MB")
-    timings = analysis.timings
-    print(f"total time:    {timings.total:.3f} s")
-    for stage, fraction in timings.fractions().items():
-        print(f"  {stage:<16}{getattr(timings, stage):.3f} s  ({fraction:5.1%})")
+    try:
+        with open(args.image, "rb") as handle:
+            image_bytes = handle.read()
+        session = AnalysisSession.from_image_bytes(image_bytes)
+    except (OSError, ImageFormatError) as error:
+        print(f"cannot load image {args.image}: {error}", file=sys.stderr)
+        return EXIT_BAD_IMAGE
+    try:
+        if args.incremental:
+            return _cmd_analyze_incremental(args, session, image_bytes)
+        if args.stats:
+            print("--stats requires --incremental", file=sys.stderr)
+            return EXIT_USAGE
+        jobs = args.jobs
+        if args.annotate or args.dot:
+            if jobs is not None and jobs != 1:
+                print(
+                    "--annotate/--dot need the whole-program PSG; "
+                    "use --jobs 1 with them",
+                    file=sys.stderr,
+                )
+                return EXIT_USAGE
+            jobs = 1  # force serial even when REPRO_JOBS says otherwise
+        analysis = session.analyze(jobs=jobs)
+    except AnalysisError as error:
+        print(f"analysis failed: {error}", file=sys.stderr)
+        return EXIT_ANALYSIS
+    program = session.program
+    parallel = not hasattr(analysis, "psg")
+    if args.json:
+        payload = session.metrics()
+        payload["instructions"] = program.instruction_count
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    elif parallel:
+        print(f"routines:      {program.routine_count}")
+        print(f"instructions:  {program.instruction_count}")
+        print()
+        print(analysis.metrics.render())
+    else:
+        print(f"routines:      {program.routine_count}")
+        print(f"instructions:  {program.instruction_count}")
+        print(f"basic blocks:  {analysis.basic_block_count}")
+        print(f"cfg arcs:      {analysis.cfg_arc_count}")
+        print(f"psg nodes:     {analysis.psg.node_count}")
+        print(f"psg edges:     {analysis.psg.edge_count}")
+        print(f"memory model:  {analysis.memory_bytes / 1e6:.2f} MB")
+        timings = analysis.timings
+        print(f"total time:    {timings.total:.3f} s")
+        for stage, fraction in timings.fractions().items():
+            print(
+                f"  {stage:<16}{getattr(timings, stage):.3f} s  "
+                f"({fraction:5.1%})"
+            )
     if args.routines:
         _print_routine_summaries(analysis.result, args.routines)
     if args.annotate:
@@ -159,12 +214,17 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         with open(args.dot, "w", encoding="utf-8") as handle:
             handle.write(psg_to_dot(analysis.psg, routine=args.dot_routine))
         print(f"wrote PSG dot to {args.dot}")
-    return 0
+    return EXIT_OK
 
 
 def _cmd_disasm(args: argparse.Namespace) -> int:
-    print(render_listing(disassemble_image(_load(args.image))))
-    return 0
+    try:
+        image = _load(args.image)
+    except (OSError, ImageFormatError) as error:
+        print(f"cannot load image {args.image}: {error}", file=sys.stderr)
+        return EXIT_BAD_IMAGE
+    print(render_listing(disassemble_image(image)))
+    return EXIT_OK
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
@@ -178,12 +238,20 @@ def _cmd_generate(args: argparse.Namespace) -> int:
         f"wrote {args.output}: {len(image.symbols)} routines, "
         f"{image.instruction_count} instructions"
     )
-    return 0
+    return EXIT_OK
 
 
 def _cmd_optimize(args: argparse.Namespace) -> int:
-    program = disassemble_image(_load(args.image))
-    result = optimize_program(program, verify=args.verify)
+    try:
+        session = AnalysisSession.from_path(args.image)
+    except (OSError, ImageFormatError) as error:
+        print(f"cannot load image {args.image}: {error}", file=sys.stderr)
+        return EXIT_BAD_IMAGE
+    try:
+        result = session.optimize(verify=args.verify)
+    except AnalysisError as error:
+        print(f"optimization failed: {error}", file=sys.stderr)
+        return EXIT_ANALYSIS
     for report in result.reports:
         print(
             f"{report.name}: {report.routines_changed} routines, "
@@ -196,16 +264,20 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
     with open(args.output, "wb") as handle:
         handle.write(program_to_image(result.optimized).to_bytes())
     print(f"wrote {args.output}")
-    return 0
+    return EXIT_OK
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    program = disassemble_image(_load(args.image))
-    result = run_program(program, max_steps=args.max_steps)
+    try:
+        image = _load(args.image)
+    except (OSError, ImageFormatError) as error:
+        print(f"cannot load image {args.image}: {error}", file=sys.stderr)
+        return EXIT_BAD_IMAGE
+    result = run_program(disassemble_image(image), max_steps=args.max_steps)
     for value in result.outputs:
         print(value)
     print(f"# steps={result.steps} exit={result.exit_value}")
-    return 0
+    return EXIT_OK
 
 
 def _cmd_summaries(args: argparse.Namespace) -> int:
@@ -219,7 +291,7 @@ def _cmd_summaries(args: argparse.Namespace) -> int:
         print(f"  call-killed:   {summary.call_killed!r}")
         print(f"  live-at-entry: {summary.live_at_entry!r}")
         print(f"  call sites:    {len(summary.call_sites)}")
-    return 0
+    return EXIT_OK
 
 
 def _cmd_benchmarks(_args: argparse.Namespace) -> int:
@@ -228,7 +300,7 @@ def _cmd_benchmarks(_args: argparse.Namespace) -> int:
             f"{shape.name:<10} {shape.suite:<16} {shape.routines:>7} routines  "
             f"{shape.instructions:>9} instructions   {shape.description}"
         )
-    return 0
+    return EXIT_OK
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -243,6 +315,17 @@ def build_parser() -> argparse.ArgumentParser:
 
     analyze = sub.add_parser("analyze", help="analyze an executable image")
     analyze.add_argument("image")
+    analyze.add_argument(
+        "-j", "--jobs", type=int, default=None, metavar="N",
+        help=(
+            "solve on N worker processes (0 = one per CPU); results are "
+            "bit-identical at any setting (default: REPRO_JOBS or 1)"
+        ),
+    )
+    analyze.add_argument(
+        "--json", action="store_true",
+        help="print one machine-readable JSON stats object",
+    )
     analyze.add_argument(
         "-r", "--routine", dest="routines", action="append", default=[],
         help="print the summary of this routine (repeatable)",

@@ -115,6 +115,66 @@ class WorklistSolver(Generic[State]):
         return states
 
 
+class SubgraphWorklist:
+    """A chaotic-iteration worklist over a *subgraph view* of a node set.
+
+    The PSG phases (and the sharded parallel solver built on them) all
+    iterate the same way: a universe of ``node_count`` nodes, a subset
+    of **frozen** boundary nodes whose values are fixed (exit nodes,
+    entries pinned at cached or shard-published triples), and a
+    ``dependents`` map saying which nodes must be revisited when a
+    node's value changes.  This class owns the queue/dedup machinery so
+    every client iterates the *interior* of its subgraph identically;
+    the frozen mask is what makes the view a subgraph — frozen nodes
+    are never visited and never enqueued, so iteration cannot escape
+    the region they bound.
+
+    ``transfer(node) -> bool`` recomputes one node's value in place and
+    reports whether it changed; clients needing extra propagation (the
+    phase-2 return-to-exit copies) call :meth:`enqueue` from inside
+    their transfer function.
+    """
+
+    __slots__ = ("_dependents", "_frozen", "_queue", "_queued")
+
+    def __init__(
+        self,
+        node_count: int,
+        dependents: Sequence[Sequence[int]],
+        frozen: Sequence[bool],
+        seed_order: Sequence[int],
+    ) -> None:
+        self._dependents = dependents
+        self._frozen = frozen
+        self._queue: deque = deque(
+            node for node in seed_order if not frozen[node]
+        )
+        self._queued = [False] * node_count
+        for node in self._queue:
+            self._queued[node] = True
+
+    def enqueue(self, node: int) -> None:
+        """Schedule ``node`` for (re)visiting unless frozen or queued."""
+        if not self._queued[node] and not self._frozen[node]:
+            self._queued[node] = True
+            self._queue.append(node)
+
+    def run(self, transfer: Callable[[int], bool]) -> int:
+        """Iterate to a fixed point; returns the number of node visits."""
+        queue = self._queue
+        queued = self._queued
+        dependents = self._dependents
+        visits = 0
+        while queue:
+            node = queue.popleft()
+            queued[node] = False
+            visits += 1
+            if transfer(node):
+                for dependent in dependents[node]:
+                    self.enqueue(dependent)
+        return visits
+
+
 def postorder(
     node_count: int, successors: Sequence[Sequence[int]], roots: Iterable[int]
 ) -> List[int]:

@@ -16,6 +16,10 @@ The two-phase analysis over the Program Summary Graph:
 * :mod:`repro.interproc.incremental` — fingerprint-scoped incremental
   re-analysis over the call-graph SCC condensation, warm-started from
   a persisted :class:`~repro.interproc.persist.SummaryCache`;
+* :mod:`repro.interproc.parallel` — the sharded parallel solver: the
+  condensation partitioned into cost-balanced shards, solved on a
+  worker pool callee-first (phase 1) then caller-first (phase 2), with
+  results bit-identical to the serial driver at any worker count;
 * :mod:`repro.interproc.baseline` — the whole-program-CFG analysis
   [Srivastava93] used as the comparison baseline and as a correctness
   oracle for the PSG path.
@@ -39,10 +43,16 @@ from repro.interproc.savedregs import (
     saved_restored_registers,
 )
 from repro.interproc.baseline import analyze_program_baseline
+from repro.interproc.errors import AnalysisError
 from repro.interproc.incremental import (
     IncrementalAnalysis,
     analyze_incremental,
     routine_fingerprint,
+)
+from repro.interproc.parallel import (
+    ParallelAnalysis,
+    analyze_incremental_parallel,
+    analyze_parallel,
 )
 from repro.interproc.persist import (
     SummaryCache,
@@ -56,10 +66,12 @@ from repro.interproc.persist import (
 
 __all__ = [
     "AnalysisConfig",
+    "AnalysisError",
     "AnalysisResult",
     "CallSiteSummary",
     "IncrementalAnalysis",
     "InterproceduralAnalysis",
+    "ParallelAnalysis",
     "RoutineSummary",
     "SaveRestoreSites",
     "StageTimings",
@@ -67,6 +79,8 @@ __all__ = [
     "SummaryFormatError",
     "analyze_image",
     "analyze_incremental",
+    "analyze_incremental_parallel",
+    "analyze_parallel",
     "analyze_program",
     "analyze_program_baseline",
     "dump_cache",

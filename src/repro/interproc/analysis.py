@@ -18,8 +18,9 @@ per-stage times, and model-based memory usage.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
 
 from repro.isa.calling_convention import CallingConvention, NT_ALPHA
 from repro.program.image import ExecutableImage
@@ -55,6 +56,11 @@ class AnalysisConfig:
     #: every save/restore pair leak into the callers' call-used /
     #: call-killed sets; results remain sound but much less useful.
     callee_saved_filtering: bool = True
+    #: Worker processes for the sharded parallel solver.  1 = solve in
+    #: this process; 0 or negative = one worker per available CPU.
+    #: Results are bit-identical at every setting (see
+    #: :mod:`repro.interproc.parallel`).
+    jobs: int = 1
 
 
 @dataclass
@@ -97,7 +103,7 @@ class InterproceduralAnalysis:
         return intra + 2 * calls
 
 
-def analyze_program(
+def _analyze_program(
     program: Program, config: Optional[AnalysisConfig] = None
 ) -> InterproceduralAnalysis:
     """Run the full pipeline on an already-decoded program."""
@@ -127,12 +133,12 @@ def analyze_program(
         {config.convention.stack_pointer, config.convention.global_pointer}
     )
     callee_first = call_graph.reverse_topological_order()
-    phase1_order = _node_order(psg, callee_first)
+    phase1_order = node_seed_order(psg, callee_first)
     with timer.stage("phase1"):
         phase1 = run_phase1(psg, saved_restored, preserved, phase1_order)
 
     caller_first = list(reversed(callee_first))
-    phase2_order = _node_order(psg, caller_first)
+    phase2_order = node_seed_order(psg, caller_first)
     with timer.stage("phase2"):
         phase2 = run_phase2(
             psg,
@@ -159,7 +165,7 @@ def analyze_program(
     )
 
 
-def analyze_image(
+def _analyze_image(
     image: ExecutableImage, config: Optional[AnalysisConfig] = None
 ) -> InterproceduralAnalysis:
     """Decode an executable image and analyze it.
@@ -170,16 +176,55 @@ def analyze_image(
     timer = StageTimer()
     with timer.stage("cfg_build"):
         program = disassemble_image(image)
-    analysis = analyze_program(program, config)
+    analysis = _analyze_program(program, config)
     analysis.timings.cfg_build += timer.timings.cfg_build
     return analysis
 
 
-def _node_order(psg: ProgramSummaryGraph, routine_order: List[str]) -> List[int]:
+def analyze_program(
+    program: Program, config: Optional[AnalysisConfig] = None
+) -> InterproceduralAnalysis:
+    """Deprecated free-function entry point.
+
+    Use ``repro.api.AnalysisSession.from_program(program).analyze()``.
+    """
+    warnings.warn(
+        "analyze_program() is deprecated; use "
+        "repro.api.AnalysisSession.from_program(program).analyze()",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _analyze_program(program, config)
+
+
+def analyze_image(
+    image: ExecutableImage, config: Optional[AnalysisConfig] = None
+) -> InterproceduralAnalysis:
+    """Deprecated free-function entry point.
+
+    Use ``repro.api.AnalysisSession.from_image(image).analyze()``.
+    """
+    warnings.warn(
+        "analyze_image() is deprecated; use "
+        "repro.api.AnalysisSession.from_image(image).analyze()",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _analyze_image(image, config)
+
+
+def node_seed_order(
+    psg: ProgramSummaryGraph, routine_order: Sequence[str]
+) -> List[int]:
     """Seed order: routines in ``routine_order``, and within each
     routine the nodes in reverse creation order (targets tend to be
     created after the entry, so reversing processes them first, which
-    suits backward propagation)."""
+    suits backward propagation).
+
+    Shared by the whole-program driver, the incremental engine (over a
+    partial PSG's members) and the parallel shard workers — identical
+    seeding is part of keeping every execution mode deterministic.
+    """
     order: List[int] = []
     for name in routine_order:
         routine_psg = psg.routines[name]

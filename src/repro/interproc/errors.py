@@ -1,0 +1,16 @@
+"""Analysis-level failure type.
+
+The solvers raise precise internal errors (``PsgBuildError``,
+``SolverDivergence``, pickling failures, worker-process deaths).  The
+session facade and the parallel scheduler normalize anything that
+prevents an analysis from completing into :class:`AnalysisError`, so
+callers — the CLI in particular — have one exception to map to one
+exit code, and a crashed worker process surfaces as a clean raise
+instead of a hung pool.
+"""
+
+from __future__ import annotations
+
+
+class AnalysisError(RuntimeError):
+    """An interprocedural analysis run could not be completed."""

@@ -36,6 +36,7 @@ builds CFGs, fingerprints them, and returns the cached result.
 from __future__ import annotations
 
 import struct
+import warnings
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
@@ -47,7 +48,11 @@ from repro.cfg.cfg import CallSite, ControlFlowGraph, ExitKind
 from repro.dataflow.equations import SummaryTriple
 from repro.dataflow.local import LocalSets, compute_local_sets
 from repro.dataflow.regset import TRACKED_MASK, mask_of
-from repro.interproc.analysis import AnalysisConfig, analyze_program
+from repro.interproc.analysis import (
+    AnalysisConfig,
+    _analyze_program,
+    node_seed_order,
+)
 from repro.interproc.persist import SummaryCache, crc64
 from repro.interproc.phase1 import run_phase1
 from repro.interproc.phase2 import run_phase2
@@ -58,7 +63,7 @@ from repro.interproc.summaries import (
     RoutineSummary,
 )
 from repro.psg.build import PartialPsg, build_partial_psg
-from repro.reporting.metrics import IncrementalMetrics
+from repro.reporting.metrics import IncrementalMetrics, ParallelMetrics
 
 
 def routine_fingerprint(routine: Routine, cfg: ControlFlowGraph) -> int:
@@ -101,13 +106,17 @@ class IncrementalAnalysis:
     cache: SummaryCache
     metrics: IncrementalMetrics
     condensation: Optional[Condensation] = None
+    #: Shard/pool metrics when the run was solved in parallel
+    #: (``jobs > 1``); ``None`` for serial runs.
+    parallel: Optional[ParallelMetrics] = None
 
 
-def analyze_incremental(
+def _analyze_incremental(
     program: Program,
     cache: Optional[SummaryCache] = None,
     config: Optional[AnalysisConfig] = None,
     image_fingerprint: int = 0,
+    jobs: Optional[int] = None,
 ) -> IncrementalAnalysis:
     """Analyze ``program``, reusing ``cache`` where fingerprints allow.
 
@@ -116,12 +125,70 @@ def analyze_incremental(
     seeds future warm runs.  ``image_fingerprint`` is stored in the
     refreshed cache (it scopes the ``SUM1`` sidecar; the incremental
     engine itself invalidates per routine, not per image).
+
+    ``jobs`` (or ``config.jobs``) above 1 delegates to the sharded
+    parallel engine — dirty shards are re-solved on a worker pool,
+    clean shards keep their cached summaries — with bit-identical
+    results at any worker count.
     """
     config = config or AnalysisConfig()
+
+    from repro.interproc.parallel import resolve_jobs
+
+    effective_jobs = resolve_jobs(jobs, config)
+    if effective_jobs > 1:
+        from repro.interproc.parallel import analyze_incremental_parallel
+
+        return analyze_incremental_parallel(
+            program,
+            cache,
+            config,
+            image_fingerprint=image_fingerprint,
+            jobs=effective_jobs,
+        )
+
     metrics = IncrementalMetrics(routines_total=program.routine_count)
 
     if cache is None:
         return _cold_run(program, config, image_fingerprint, metrics)
+
+    return _warm_run(program, cache, config, image_fingerprint, metrics)
+
+
+def analyze_incremental(
+    program: Program,
+    cache: Optional[SummaryCache] = None,
+    config: Optional[AnalysisConfig] = None,
+    image_fingerprint: int = 0,
+    jobs: Optional[int] = None,
+) -> IncrementalAnalysis:
+    """Deprecated free-function entry point.
+
+    Use ``repro.api.AnalysisSession.from_program(program)
+    .analyze_incremental(cache=...)``.
+    """
+    warnings.warn(
+        "analyze_incremental() is deprecated; use repro.api."
+        "AnalysisSession.from_program(program).analyze_incremental(...)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _analyze_incremental(
+        program,
+        cache=cache,
+        config=config,
+        image_fingerprint=image_fingerprint,
+        jobs=jobs,
+    )
+
+
+def _warm_run(
+    program: Program,
+    cache: SummaryCache,
+    config: AnalysisConfig,
+    image_fingerprint: int,
+    metrics: IncrementalMetrics,
+) -> IncrementalAnalysis:
 
     with metrics.stage("cfg_build"):
         cfgs = build_all_cfgs(program)
@@ -176,7 +243,7 @@ def _cold_run(
     image_fingerprint: int,
     metrics: IncrementalMetrics,
 ) -> IncrementalAnalysis:
-    full = analyze_program(program, config)
+    full = _analyze_program(program, config)
     metrics.cold = True
     metrics.dirty_routines = sorted(full.cfgs)
     count = len(full.cfgs)
@@ -220,6 +287,36 @@ def _triple_of(summary: RoutineSummary) -> SummaryTriple:
     )
 
 
+def orphaned_callees(
+    cached: Dict[str, RoutineSummary],
+    cfgs: Dict[str, ControlFlowGraph],
+    call_graph: CallGraph,
+    dirty: Set[str],
+) -> Set[str]:
+    """Former callees that lost a caller and must be re-solved.
+
+    A routine whose cached call sites name a target it no longer calls
+    — deleted outright, or surviving but with the site dropped or
+    retargeted by the edit — leaves that former callee with the removed
+    site's live-after baked into its cached exit liveness.  The new
+    call graph has no edge left to carry the retraction, so diff the
+    cached target lists against it and re-solve the losers.  Clean
+    survivors can be skipped: the fingerprint covers target lists, so
+    theirs cannot have moved.  (Shared by the serial warm engine and
+    the parallel dirty-shard selection.)
+    """
+    orphaned: Set[str] = set()
+    for name, summary in cached.items():
+        if name in cfgs and name not in dirty:
+            continue
+        cached_targets: Set[str] = set()
+        for site in summary.call_sites:
+            cached_targets.update(site.site.targets)
+        current = set(call_graph.callees_of(name)) if name in cfgs else set()
+        orphaned.update(cached_targets - current)
+    return orphaned
+
+
 class _WarmEngine:
     """One warm incremental solve, phase by phase, SCC by SCC."""
 
@@ -258,25 +355,7 @@ class _WarmEngine:
         self.solved2: Set[int] = set()
         self.changed2: Set[str] = set()
         self.fresh: Dict[str, RoutineSummary] = {}
-        # A routine whose cached call sites name a target it no longer
-        # calls — deleted outright, or surviving but with the site
-        # dropped or retargeted by the edit — leaves that former callee
-        # with the removed site's live-after baked into its cached exit
-        # liveness.  The new call graph has no edge left to carry the
-        # retraction, so diff the cached target lists against it and
-        # re-solve the losers.  Clean survivors can be skipped: the
-        # fingerprint covers target lists, so theirs cannot have moved.
-        self.orphaned: Set[str] = set()
-        for name, summary in self.cached.items():
-            if name in cfgs and name not in dirty:
-                continue
-            cached_targets: Set[str] = set()
-            for site in summary.call_sites:
-                cached_targets.update(site.site.targets)
-            current = (
-                set(call_graph.callees_of(name)) if name in cfgs else set()
-            )
-            self.orphaned.update(cached_targets - current)
+        self.orphaned = orphaned_callees(self.cached, cfgs, call_graph, dirty)
 
     # ------------------------------------------------------------------
     # Lazy inputs
@@ -309,17 +388,7 @@ class _WarmEngine:
 
     @staticmethod
     def _node_order(partial: PartialPsg) -> List[int]:
-        order: List[int] = []
-        for name in partial.members:
-            routine_psg = partial.psg.routines[name]
-            ids = [routine_psg.entry_node]
-            ids.extend(node for node, _kind in routine_psg.exit_nodes)
-            for call_node, return_node, _site in routine_psg.call_pairs:
-                ids.append(call_node)
-                ids.append(return_node)
-            ids.extend(routine_psg.branch_nodes)
-            order.extend(reversed(ids))
-        return order
+        return node_seed_order(partial.psg, partial.members)
 
     # ------------------------------------------------------------------
     # Phase 1 — callee-first, pinned external entries, change cutoff

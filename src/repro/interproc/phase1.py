@@ -43,11 +43,11 @@ the incoming ``sp``).
 
 from __future__ import annotations
 
-from collections import deque
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from repro.dataflow.equations import SummaryTriple
+from repro.dataflow.solver import SubgraphWorklist
 from repro.dataflow.regset import TRACKED_MASK
 from repro.cfg.cfg import ExitKind
 from repro.psg.graph import ProgramSummaryGraph
@@ -195,7 +195,9 @@ def run_phase1(
         must_def[node_id] = xd_acc
         return changed
 
-    iterations = _iterate(node_count, seed_order, is_exit, dependents, defs_transfer)
+    iterations = SubgraphWorklist(
+        node_count, dependents, is_exit, seed_order
+    ).run(defs_transfer)
 
     # ------------------------------------------------------------------
     # Pass B: MAY-USE, with MUST-DEF now final
@@ -227,7 +229,9 @@ def run_phase1(
         may_use[node_id] = mu_acc
         return changed
 
-    iterations += _iterate(node_count, seed_order, is_exit, dependents, uses_transfer)
+    iterations += SubgraphWorklist(
+        node_count, dependents, is_exit, seed_order
+    ).run(uses_transfer)
 
     # Persist the final labels on the resolved call-return edges; phase 2
     # re-reads them ("retained for the second dataflow phase").
@@ -254,22 +258,3 @@ def run_phase1(
         must_def=must_def,
         iterations=iterations,
     )
-
-
-def _iterate(node_count, seed_order, is_exit, dependents, transfer) -> int:
-    """Run a worklist pass; returns the number of node visits."""
-    worklist = deque(node for node in seed_order if not is_exit[node])
-    queued = [False] * node_count
-    for node in worklist:
-        queued[node] = True
-    visits = 0
-    while worklist:
-        node = worklist.popleft()
-        queued[node] = False
-        visits += 1
-        if transfer(node):
-            for dependent in dependents[node]:
-                if not queued[dependent] and not is_exit[dependent]:
-                    queued[dependent] = True
-                    worklist.append(dependent)
-    return visits

@@ -29,12 +29,12 @@ Boundary conditions:
 
 from __future__ import annotations
 
-from collections import deque
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set
 
 from repro.isa.calling_convention import CallingConvention
 from repro.dataflow.regset import TRACKED_MASK, mask_of
+from repro.dataflow.solver import SubgraphWorklist
 from repro.cfg.cfg import ExitKind
 from repro.psg.graph import ProgramSummaryGraph
 from repro.psg.nodes import NodeKind
@@ -116,21 +116,9 @@ def run_phase2(
     flow_edges = psg.flow_edges
     cr_edges = psg.call_return_edges
 
-    worklist = deque(node for node in seed_order if not is_exit[node])
-    queued = [False] * node_count
-    for node in worklist:
-        queued[node] = True
+    worklist = SubgraphWorklist(node_count, dependents, is_exit, seed_order)
 
-    def enqueue(node_id: int) -> None:
-        if not queued[node_id] and not is_exit[node_id]:
-            queued[node_id] = True
-            worklist.append(node_id)
-
-    iterations = 0
-    while worklist:
-        node_id = worklist.popleft()
-        queued[node_id] = False
-        iterations += 1
+    def transfer(node_id: int) -> bool:
         mu_acc = 0
         for edge_index in psg.flow_out[node_id]:
             edge = flow_edges[edge_index]
@@ -142,16 +130,18 @@ def run_phase2(
             label = edge.label
             mu_acc |= label.may_use | (may_use[edge.dst] & ~label.must_def)
         if mu_acc == may_use[node_id]:
-            continue
+            return False
         may_use[node_id] = mu_acc
-        for dependent in dependents[node_id]:
-            enqueue(dependent)
         # Return node -> callee exit copies (the dashed arcs of Fig. 11).
+        # Exit nodes are frozen, so their dependents are enqueued by
+        # hand when a copy lands new bits on them.
         for exit_node in return_to_exits.get(node_id, ()):
             merged = may_use[exit_node] | mu_acc
             if merged != may_use[exit_node]:
                 may_use[exit_node] = merged
                 for dependent in dependents[exit_node]:
-                    enqueue(dependent)
+                    worklist.enqueue(dependent)
+        return True
 
+    iterations = worklist.run(transfer)
     return Phase2Result(may_use=may_use, iterations=iterations)

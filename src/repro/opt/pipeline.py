@@ -20,6 +20,7 @@ measure the dynamic-instruction improvement (the §1 "5%-10%" claim).
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -28,7 +29,7 @@ from repro.program.rewrite import Edits, apply_edits
 from repro.interproc.analysis import (
     AnalysisConfig,
     InterproceduralAnalysis,
-    analyze_program,
+    _analyze_program,
 )
 from repro.opt.dce import eliminate_dead_code
 from repro.opt.deadstore import eliminate_dead_stores
@@ -142,7 +143,7 @@ _PASSES: Dict[str, Callable[[InterproceduralAnalysis], Edits]] = {
 }
 
 
-def optimize_program(
+def _optimize_program(
     program: Program,
     passes: Sequence[str] = PASS_NAMES,
     config: Optional[AnalysisConfig] = None,
@@ -157,7 +158,7 @@ def optimize_program(
     current = program
     reports: List[OptimizationReport] = []
     for name in passes:
-        analysis = analyze_program(current, config)
+        analysis = _analyze_program(current, config)
         edits = _PASSES[name](analysis)
         routines, deleted, rewritten = _edit_counts(edits)
         reports.append(
@@ -184,3 +185,29 @@ def optimize_program(
                 f"{result.optimized_run.observable}"
             )
     return result
+
+
+def optimize_program(
+    program: Program,
+    passes: Sequence[str] = PASS_NAMES,
+    config: Optional[AnalysisConfig] = None,
+    verify: bool = False,
+    max_steps: int = 5_000_000,
+) -> OptimizationResult:
+    """Deprecated free-function entry point.
+
+    Use ``repro.api.AnalysisSession.from_program(program).optimize()``.
+    """
+    warnings.warn(
+        "optimize_program() is deprecated; use "
+        "repro.api.AnalysisSession.from_program(program).optimize()",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _optimize_program(
+        program,
+        passes=passes,
+        config=config,
+        verify=verify,
+        max_steps=max_steps,
+    )

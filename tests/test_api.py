@@ -1,0 +1,258 @@
+"""Contract tests for the :mod:`repro.api` session facade.
+
+The facade is the supported entry point: everything a caller needs —
+construction from bytes/image/path/program, serial and parallel
+analysis, incremental re-analysis, optimization, summaries and
+metrics — must be reachable from :class:`repro.api.AnalysisSession`
+without importing submodule internals.  The legacy free functions are
+deprecated shims that must keep forwarding their arguments faithfully.
+"""
+
+import json
+import warnings
+
+import pytest
+
+from repro.api import AnalysisConfig, AnalysisError, AnalysisSession
+from repro.interproc import dump_summaries
+from repro.program.asm import assemble
+from repro.program.image import ImageFormatError
+
+SOURCE = """
+.routine main export
+    li  a0, 5
+    bsr ra, helper
+    bis zero, v0, a0
+    output
+    halt
+.routine helper
+    addq a0, #1, v0
+    ret (ra)
+"""
+
+
+@pytest.fixture(scope="module")
+def image():
+    return assemble(SOURCE)
+
+
+@pytest.fixture(scope="module")
+def image_bytes(image):
+    return image.to_bytes()
+
+
+# ----------------------------------------------------------------------
+# Construction
+# ----------------------------------------------------------------------
+
+
+class TestConstruction:
+    def test_from_image_bytes(self, image_bytes):
+        session = AnalysisSession.from_image_bytes(image_bytes)
+        assert session.program.routine_count == 2
+        assert session.image_fingerprint != 0
+
+    def test_from_image_bytes_rejects_garbage(self):
+        with pytest.raises(ImageFormatError):
+            AnalysisSession.from_image_bytes(b"not an image")
+
+    def test_from_image(self, image):
+        session = AnalysisSession.from_image(image)
+        assert "helper" in session.program.routine_names()
+
+    def test_from_path(self, image_bytes, tmp_path):
+        path = tmp_path / "prog.sax"
+        path.write_bytes(image_bytes)
+        session = AnalysisSession.from_path(str(path))
+        assert session.program.routine_count == 2
+
+    def test_from_path_missing_file(self, tmp_path):
+        with pytest.raises(OSError):
+            AnalysisSession.from_path(str(tmp_path / "absent.sax"))
+
+    def test_from_program_has_no_fingerprint(self, quick_program):
+        session = AnalysisSession.from_program(quick_program)
+        assert session.image_fingerprint == 0
+
+    def test_config_retained(self, quick_program):
+        config = AnalysisConfig(jobs=2)
+        session = AnalysisSession.from_program(quick_program, config)
+        assert session.config is config
+
+    def test_construction_does_not_analyze(self, quick_program):
+        session = AnalysisSession.from_program(quick_program)
+        assert session.metrics() == {}
+
+
+# ----------------------------------------------------------------------
+# Analyses through the facade
+# ----------------------------------------------------------------------
+
+
+class TestAnalyze:
+    def test_serial(self, quick_program, monkeypatch):
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        session = AnalysisSession.from_program(quick_program)
+        analysis = session.analyze()
+        assert "helper" in analysis.result.summaries
+        assert session.metrics()["kind"] == "serial"
+
+    def test_parallel_matches_serial(self, quick_program):
+        serial = AnalysisSession.from_program(quick_program).analyze()
+        session = AnalysisSession.from_program(quick_program)
+        analysis = session.analyze(jobs=2)
+        assert dump_summaries(analysis.result) == dump_summaries(
+            serial.result
+        )
+        assert session.metrics()["kind"] == "parallel"
+
+    def test_incremental_cold_then_warm(self, quick_program):
+        session = AnalysisSession.from_program(quick_program)
+        cold = session.analyze_incremental()
+        assert cold.metrics.cold
+        warm = session.analyze_incremental(cache=cold.cache)
+        assert warm.metrics.phase1_solved == 0
+        assert warm.metrics.phase2_solved == 0
+        assert session.metrics()["kind"] == "incremental"
+
+    def test_optimize(self, quick_program):
+        session = AnalysisSession.from_program(quick_program)
+        result = session.optimize(verify=True)
+        assert result.behaviour_preserved()
+        # The session itself is untouched by optimization.
+        assert session.program is quick_program
+
+    def test_optimize_forwards_passes(self, quick_program):
+        session = AnalysisSession.from_program(quick_program)
+        result = session.optimize(passes=("dce",))
+        assert [report.name for report in result.reports] == ["dce"]
+
+    def test_optimize_rejects_unknown_pass(self, quick_program):
+        session = AnalysisSession.from_program(quick_program)
+        with pytest.raises(ValueError, match="unknown pass"):
+            session.optimize(passes=("nonsense",))
+
+    def test_summaries_lazily_analyzes(self, quick_program, monkeypatch):
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        session = AnalysisSession.from_program(quick_program)
+        result = session.summaries()
+        assert "helper" in result.summaries
+        assert session.summary("helper") is result.summaries["helper"]
+        assert session.metrics()["kind"] == "serial"
+
+    def test_metrics_are_json_ready(self, quick_program):
+        session = AnalysisSession.from_program(quick_program)
+        session.analyze(jobs=2)
+        payload = json.loads(json.dumps(session.metrics(), sort_keys=True))
+        assert payload["kind"] == "parallel"
+        assert payload["jobs"] == 2
+        assert payload["routines"] == quick_program.routine_count
+
+
+# ----------------------------------------------------------------------
+# Worker-count resolution: explicit > config > environment > serial
+# ----------------------------------------------------------------------
+
+
+class TestJobsResolution:
+    def test_env_var_enables_parallel(self, quick_program, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "2")
+        session = AnalysisSession.from_program(quick_program)
+        session.analyze()
+        assert session.metrics()["kind"] == "parallel"
+
+    def test_explicit_beats_env(self, quick_program, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "2")
+        session = AnalysisSession.from_program(quick_program)
+        session.analyze(jobs=1)
+        assert session.metrics()["kind"] == "serial"
+
+    def test_config_beats_env(self, quick_program, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "4")
+        config = AnalysisConfig(jobs=2)
+        session = AnalysisSession.from_program(quick_program, config)
+        session.analyze()
+        assert session.metrics()["jobs"] == 2
+
+    def test_bad_env_value_raises(self, quick_program, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "many")
+        session = AnalysisSession.from_program(quick_program)
+        with pytest.raises(AnalysisError, match="REPRO_JOBS"):
+            session.analyze()
+
+
+# ----------------------------------------------------------------------
+# Deprecated shims: warn, but keep forwarding faithfully
+# ----------------------------------------------------------------------
+
+
+class TestDeprecatedShims:
+    def test_analyze_program_warns_and_matches(self, quick_program):
+        from repro.interproc.analysis import analyze_program
+
+        with pytest.deprecated_call():
+            legacy = analyze_program(quick_program)
+        facade = AnalysisSession.from_program(quick_program).analyze()
+        assert dump_summaries(legacy.result) == dump_summaries(
+            facade.result
+        )
+
+    def test_analyze_program_forwards_config(self, quick_program):
+        from repro.interproc.analysis import analyze_program
+
+        config = AnalysisConfig(callee_saved_filtering=False)
+        with pytest.deprecated_call():
+            legacy = analyze_program(quick_program, config=config)
+        assert legacy.config is config
+
+    def test_analyze_image_warns_and_matches(self, image):
+        from repro.interproc.analysis import analyze_image
+
+        with pytest.deprecated_call():
+            legacy = analyze_image(image)
+        facade = AnalysisSession.from_image(image).analyze()
+        assert dump_summaries(legacy.result) == dump_summaries(
+            facade.result
+        )
+
+    def test_analyze_incremental_warns_and_forwards(self, quick_program):
+        from repro.interproc.incremental import analyze_incremental
+
+        with pytest.deprecated_call():
+            cold = analyze_incremental(quick_program, image_fingerprint=7)
+        assert cold.cache.image_fingerprint == 7
+        with pytest.deprecated_call():
+            warm = analyze_incremental(quick_program, cache=cold.cache)
+        assert warm.metrics.phase2_solved == 0
+
+    def test_optimize_program_warns_and_forwards(self, quick_program):
+        from repro.opt.pipeline import optimize_program
+
+        with pytest.deprecated_call():
+            result = optimize_program(
+                quick_program, passes=("dce",), verify=True
+            )
+        assert [report.name for report in result.reports] == ["dce"]
+        assert result.behaviour_preserved()
+
+    def test_internal_callers_do_not_warn(self, quick_program):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            session = AnalysisSession.from_program(quick_program)
+            session.analyze()
+            session.analyze_incremental()
+            session.optimize(passes=("dce",))
+
+
+# ----------------------------------------------------------------------
+# Top-level package exposure
+# ----------------------------------------------------------------------
+
+
+class TestTopLevelExports:
+    def test_session_importable_from_repro(self):
+        import repro
+
+        assert repro.AnalysisSession is AnalysisSession
+        assert repro.AnalysisError is AnalysisError
+        assert "AnalysisSession" in repro.__all__

@@ -1,5 +1,7 @@
 """Tests for the spike-analyze command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -26,7 +28,8 @@ def image_path(tmp_path):
 
 
 class TestAnalyze:
-    def test_analyze_prints_measurements(self, image_path, capsys):
+    def test_analyze_prints_measurements(self, image_path, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
         assert main(["analyze", image_path]) == 0
         out = capsys.readouterr().out
         assert "routines:" in out
@@ -122,3 +125,108 @@ class TestBenchmarks:
         out = capsys.readouterr().out
         assert "compress" in out and "winword" in out
         assert len(out.strip().splitlines()) == 16
+
+
+class TestParallelFlag:
+    def test_jobs_two_prints_pool_stats(self, image_path, capsys):
+        assert main(["analyze", image_path, "--jobs", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "jobs:               2" in out
+        assert "pool utilization:" in out
+
+    def test_jobs_same_summaries_as_serial(self, image_path, capsys):
+        assert main(["analyze", image_path, "-r", "helper"]) == 0
+        serial = capsys.readouterr().out
+        assert main(
+            ["analyze", image_path, "--jobs", "2", "-r", "helper"]
+        ) == 0
+        parallel = capsys.readouterr().out
+        split = "\nhelper:\n"
+        assert serial.split(split)[1] == parallel.split(split)[1]
+
+    def test_annotate_needs_serial(self, image_path, capsys):
+        code = main(["analyze", image_path, "--annotate", "--jobs", "2"])
+        assert code == 2
+        assert "whole-program PSG" in capsys.readouterr().err
+
+
+class TestJsonFlag:
+    def test_serial_payload(self, image_path, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        assert main(["analyze", image_path, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["kind"] == "serial"
+        assert payload["routines"] == 2
+        assert payload["instructions"] > 0
+        assert "stage_seconds" in payload
+
+    def test_parallel_payload(self, image_path, capsys):
+        assert main(["analyze", image_path, "--jobs", "2", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["kind"] == "parallel"
+        assert payload["jobs"] == 2
+        assert payload["shard_count"] >= 1
+
+    def test_incremental_payload(self, image_path, capsys):
+        args = ["analyze", image_path, "--incremental", "--json"]
+        assert main(args) == 0
+        cold = json.loads(capsys.readouterr().out.split("wrote cache")[0])
+        assert cold["kind"] == "incremental"
+        assert cold["mode"] == "cold"
+        assert main(args) == 0
+        warm = json.loads(capsys.readouterr().out.split("wrote cache")[0])
+        assert warm["mode"] == "warm"
+        assert warm["phase2_solved"] == 0
+
+
+class TestExitCodes:
+    def test_missing_image_is_3(self, tmp_path, capsys):
+        assert main(["analyze", str(tmp_path / "absent.sax")]) == 3
+        assert "cannot load image" in capsys.readouterr().err
+
+    def test_corrupt_image_is_3(self, tmp_path, capsys):
+        bad = tmp_path / "bad.sax"
+        bad.write_bytes(b"definitely not an image")
+        assert main(["analyze", str(bad)]) == 3
+        assert main(["disasm", str(bad)]) == 3
+        assert main(["run", str(bad)]) == 3
+        assert main(["optimize", str(bad), "-o", str(tmp_path / "o")]) == 3
+
+    def test_analysis_failure_is_4(self, image_path, capsys, monkeypatch):
+        from repro.interproc import parallel
+
+        def explode(phase, shard_index):
+            raise RuntimeError("synthetic failure")
+
+        monkeypatch.setattr(parallel, "_FAULT_HOOK", explode)
+        assert main(["analyze", image_path, "--jobs", "2"]) == 4
+        assert "analysis failed" in capsys.readouterr().err
+
+    def test_unwritable_cache_is_5(self, image_path, tmp_path, capsys):
+        cache_dir = tmp_path / "cache.sum2"
+        cache_dir.mkdir()
+        code = main(
+            ["analyze", image_path, "--incremental", "--cache",
+             str(cache_dir)]
+        )
+        assert code == 5
+        captured = capsys.readouterr()
+        assert "could not write cache" in captured.err
+        # The analysis itself still ran and printed its report.
+        assert "reanalyzed:" in captured.out
+
+    def test_stats_without_incremental_is_2(self, image_path, capsys):
+        assert main(["analyze", image_path, "--stats"]) == 2
+        assert "--incremental" in capsys.readouterr().err
+
+
+class TestIncrementalParallel:
+    def test_warm_jobs_two_with_stats(self, image_path, tmp_path, capsys):
+        cache = str(tmp_path / "prog.sum2")
+        base = ["analyze", image_path, "--incremental", "--cache", cache]
+        assert main(base) == 0
+        capsys.readouterr()
+        assert main(base + ["--jobs", "2", "--stats"]) == 0
+        out = capsys.readouterr().out
+        assert "mode:               warm" in out
+        assert "pool utilization:" in out

@@ -363,8 +363,9 @@ class TestIncrementalCli:
         self, tmp_path, capsys
     ):
         # An OSError on the cache read (here: the path is a directory)
-        # takes the same cold fallback as malformed content, and the
-        # failed cache write at the end is a warning, not a traceback.
+        # takes the same cold fallback as malformed content; the failed
+        # cache write at the end is reported as exit code 5 (not a
+        # traceback) with the analysis output still printed.
         image = tmp_path / "bench.img"
         cache = tmp_path / "cachedir"
         cache.mkdir()
@@ -375,7 +376,7 @@ class TestIncrementalCli:
         capsys.readouterr()
         assert cli.main(
             ["analyze", str(image), "--incremental", "--cache", str(cache)]
-        ) == 0
+        ) == cli.EXIT_CACHE_IO
         captured = capsys.readouterr()
         assert "unreadable cache" in captured.out
         assert "could not write cache" in captured.err
