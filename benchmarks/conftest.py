@@ -18,18 +18,25 @@ ratios and scaling exponents, they are scale-invariant; the absolute
 reported alongside the configured scale.
 
 Each benchmark records rows into a named table; at the end of the
-session every table is printed and written to ``benchmarks/results/``.
+session every table is printed and written to ``benchmarks/results/``
+twice — ``<stem>.txt`` (the paper-style text table) and ``<stem>.json``
+(machine-readable: ``{bench, config, samples, seconds, counters}``)
+so CI and trend tooling can consume the numbers without parsing text.
 """
 
 from __future__ import annotations
 
+import json
+import multiprocessing
 import os
+import sys
 from pathlib import Path
 from typing import Dict, List, Sequence, Tuple
 
 import pytest
 
 from repro.api import AnalysisSession
+from repro.obs.metrics import REGISTRY
 from repro.program.model import Program
 from repro.reporting.tables import format_table
 from repro.workloads.generator import GeneratorConfig, generate_program
@@ -82,6 +89,45 @@ def program_and_shape(request) -> Tuple[Program, BenchmarkShape]:
     return benchmark_program(request.param)
 
 
+def _json_cell(cell: object) -> object:
+    """JSON-safe cell value (non-scalars fall back to their repr)."""
+    if isinstance(cell, (int, float, str, bool)) or cell is None:
+        return cell
+    return str(cell)
+
+
+def _table_seconds(headers: Sequence[str], rows: List[Sequence[object]]) -> float:
+    """Total of every numeric cell in a ``(s)``-suffixed column."""
+    total = 0.0
+    for index, header in enumerate(headers):
+        if "(s)" not in header:
+            continue
+        for row in rows:
+            if index < len(row) and isinstance(row[index], (int, float)):
+                total += float(row[index])
+    return total
+
+
+def _table_json(
+    stem: str, headers: Sequence[str], rows: List[Sequence[object]]
+) -> Dict[str, object]:
+    return {
+        "bench": stem,
+        "config": {
+            "scale_spec": SPEC_SCALE,
+            "scale_pc": PC_SCALE,
+            "cpus": multiprocessing.cpu_count(),
+            "python": sys.version.split()[0],
+        },
+        "samples": [
+            dict(zip(headers, (_json_cell(cell) for cell in row)))
+            for row in rows
+        ],
+        "seconds": _table_seconds(headers, rows),
+        "counters": REGISTRY.as_dict(),
+    }
+
+
 def pytest_terminal_summary(terminalreporter, exitstatus, config):
     if not _TABLES:
         return
@@ -106,3 +152,9 @@ def pytest_terminal_summary(terminalreporter, exitstatus, config):
         stem = "".join(c if c.isalnum() else "_" for c in stem).strip("_")
         out_path = RESULTS_DIR / f"{stem}.txt"
         out_path.write_text(text + "\n", encoding="utf-8")
+        json_path = RESULTS_DIR / f"{stem}.json"
+        json_path.write_text(
+            json.dumps(_table_json(stem, headers, rows), indent=2,
+                       sort_keys=True) + "\n",
+            encoding="utf-8",
+        )

@@ -35,9 +35,14 @@ value means "one worker per available CPU".
 
 from __future__ import annotations
 
+import logging
 import os
 from typing import Dict, List, Optional, Sequence, Union
 
+from repro.dataflow.regset import construction_count
+from repro.obs.metrics import REGISTRY
+from repro.obs.runid import current_run_id, new_run_id
+from repro.obs.tracer import span
 from repro.interproc.analysis import (
     AnalysisConfig,
     InterproceduralAnalysis,
@@ -62,6 +67,8 @@ __all__ = [
     "AnalysisError",
     "AnalysisSession",
 ]
+
+_log = logging.getLogger(__name__)
 
 #: Environment variable consulted for the default worker count.
 JOBS_ENV_VAR = "REPRO_JOBS"
@@ -109,6 +116,12 @@ class AnalysisSession:
             IncrementalAnalysis,
             None,
         ] = None
+        # Counter scoping: metrics() reports the registry's delta since
+        # session construction, so work done on behalf of this session
+        # before analyze() — a CLI cache load, for instance — is
+        # attributed to it while unrelated earlier runs are not.
+        self._counter_base = REGISTRY.snapshot()
+        self._regset_base = construction_count()
 
     # ------------------------------------------------------------------
     # Constructors
@@ -183,6 +196,22 @@ class AnalysisSession:
 
         return resolve_jobs(jobs, self._config)
 
+    def _begin_run(self, kind: str, jobs: int) -> None:
+        if current_run_id() is None:
+            new_run_id()
+        _log.info(
+            "%s analysis starting: %d routines, jobs=%d",
+            kind, self._program.routine_count, jobs,
+        )
+
+    def _fold_regset(self) -> None:
+        """Fold RegisterSet constructions since the last fold into the
+        registry (regset.py itself keeps only a bare local count)."""
+        count = construction_count()
+        if count != self._regset_base:
+            REGISTRY.inc("regset.constructed", count - self._regset_base)
+            self._regset_base = count
+
     def analyze(
         self, jobs: Optional[int] = None
     ) -> Union[InterproceduralAnalysis, ParallelAnalysis]:
@@ -193,17 +222,21 @@ class AnalysisSession:
         sharded parallel solver runs, with bit-identical summaries.
         """
         effective = self._resolve_jobs(jobs)
+        self._begin_run("parallel" if effective > 1 else "serial", effective)
         try:
-            if effective > 1:
-                self._last = analyze_parallel(
-                    self._program, self._config, jobs=effective
-                )
-            else:
-                self._last = _analyze_program(self._program, self._config)
+            with span("analyze", jobs=effective):
+                if effective > 1:
+                    self._last = analyze_parallel(
+                        self._program, self._config, jobs=effective
+                    )
+                else:
+                    self._last = _analyze_program(self._program, self._config)
         except AnalysisError:
             raise
         except _ANALYSIS_FAILURES as error:
             raise AnalysisError(str(error)) from error
+        finally:
+            self._fold_regset()
         return self._last
 
     def analyze_incremental(
@@ -218,18 +251,24 @@ class AnalysisSession:
         dirty shards are re-solved on a worker pool.
         """
         effective = self._resolve_jobs(jobs)
+        self._begin_run("incremental", effective)
         try:
-            self._last = _analyze_incremental(
-                self._program,
-                cache=cache,
-                config=self._config,
-                image_fingerprint=self.image_fingerprint,
-                jobs=effective,
-            )
+            with span(
+                "analyze_incremental", jobs=effective, warm=cache is not None
+            ):
+                self._last = _analyze_incremental(
+                    self._program,
+                    cache=cache,
+                    config=self._config,
+                    image_fingerprint=self.image_fingerprint,
+                    jobs=effective,
+                )
         except AnalysisError:
             raise
         except _ANALYSIS_FAILURES as error:
             raise AnalysisError(str(error)) from error
+        finally:
+            self._fold_regset()
         return self._last
 
     def optimize(
@@ -246,18 +285,22 @@ class AnalysisSession:
         """
         from repro.opt.pipeline import PASS_NAMES, _optimize_program
 
+        self._begin_run("optimize", 1)
         try:
-            return _optimize_program(
-                self._program,
-                passes=PASS_NAMES if passes is None else passes,
-                config=self._config,
-                verify=verify,
-                max_steps=max_steps,
-            )
+            with span("optimize"):
+                return _optimize_program(
+                    self._program,
+                    passes=PASS_NAMES if passes is None else passes,
+                    config=self._config,
+                    verify=verify,
+                    max_steps=max_steps,
+                )
         except AnalysisError:
             raise
         except _ANALYSIS_FAILURES as error:
             raise AnalysisError(str(error)) from error
+        finally:
+            self._fold_regset()
 
     # ------------------------------------------------------------------
     # Results of the most recent analysis
@@ -282,13 +325,18 @@ class AnalysisSession:
         on the kind (stage timings for serial runs, shard/utilization
         records for parallel runs, solved/reused counts — plus a
         ``parallel`` sub-object when applicable — for incremental
-        runs).  Empty when nothing has been analyzed yet.
+        runs).  ``counters`` carries the obs-registry delta since this
+        session was constructed — cache hit/miss/stale/write, per-phase
+        worklist iterations and queue depths, PSG sizes, regset
+        constructions — with worker-process contributions merged in.
+        Empty when nothing has been analyzed yet.
         """
         last = self._last
         if last is None:
             return {}
         payload: Dict[str, object] = {
             "routines": self._program.routine_count,
+            "counters": REGISTRY.delta_since(self._counter_base),
         }
         if isinstance(last, InterproceduralAnalysis):
             payload["kind"] = "serial"

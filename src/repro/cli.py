@@ -13,7 +13,16 @@ Subcommands:
   image (see :mod:`repro.workloads`);
 * ``optimize <image> -o <image>`` — run the Figure-1 optimization
   pipeline and write the rewritten image;
+* ``report <image>`` — analyze with per-routine solver attribution on
+  and print a convergence / hot-routine table;
 * ``run <image>`` — execute an image in the interpreter.
+
+Observability: ``analyze --trace FILE`` exports a Chrome trace-event
+JSON of the run's spans (open it in https://ui.perfetto.dev),
+``--stats`` prints the obs counter block for any analyze mode (cold,
+parallel, or incremental), and ``--log-level`` / the ``REPRO_LOG``
+environment variable turn on structured logging for the ``repro.*``
+logger tree.
 
 All analysis goes through :class:`repro.api.AnalysisSession`.  Exit
 codes are distinct per failure class so scripts can tell them apart:
@@ -22,8 +31,9 @@ codes are distinct per failure class so scripts can tell them apart:
 * 2 — usage error (bad flags or flag combinations);
 * 3 — the input image could not be read or parsed;
 * 4 — the analysis itself failed (:class:`AnalysisError`);
-* 5 — the analysis succeeded but the cache sidecar could not be
-  written (the run's output is still printed).
+* 5 — the analysis succeeded but a by-product (the cache sidecar or
+  the ``--trace`` file) could not be written; the run's output is
+  still printed.
 """
 
 from __future__ import annotations
@@ -36,6 +46,13 @@ from typing import List, Optional
 
 from repro.api import AnalysisError, AnalysisSession
 from repro.dataflow.regset import RegisterSet
+from repro.obs import (
+    REGISTRY,
+    configure_logging,
+    enable_tracing,
+    get_tracer,
+    render_counters,
+)
 from repro.interproc.persist import (
     SummaryFormatError,
     dump_cache,
@@ -77,6 +94,36 @@ def _print_routine_summaries(result, names: List[str]) -> None:
         for block, mask in sorted(summary.exit_live_masks.items()):
             live = RegisterSet.from_mask(mask)
             print(f"  live-at-exit[block {block}]: {live!r}")
+
+
+def _print_counters(session: AnalysisSession) -> None:
+    counters = session.metrics().get("counters", {})
+    if counters:
+        print()
+        print("counters:")
+        print(render_counters(counters, indent="  "))
+
+
+def _finish_trace(args: argparse.Namespace) -> int:
+    """Export the collected spans to ``args.trace`` (no-op without it)."""
+    if not getattr(args, "trace", None):
+        return EXIT_OK
+    tracer = get_tracer()
+    try:
+        count = tracer.export(args.trace)
+    except OSError as error:
+        print(
+            f"could not write trace to {args.trace}: {error}",
+            file=sys.stderr,
+        )
+        return EXIT_CACHE_IO
+    # Keep --json stdout parseable: the note goes to stderr there.
+    print(
+        f"wrote trace to {args.trace} ({count} spans); "
+        "open in https://ui.perfetto.dev",
+        file=sys.stderr if getattr(args, "json", False) else sys.stdout,
+    )
+    return EXIT_OK
 
 
 def _cmd_analyze_incremental(
@@ -122,6 +169,7 @@ def _cmd_analyze_incremental(
             if incremental.parallel is not None:
                 print()
                 print(incremental.parallel.render())
+            _print_counters(session)
     if args.routines:
         _print_routine_summaries(incremental.result, args.routines)
     if args.save_summaries:
@@ -141,10 +189,13 @@ def _cmd_analyze_incremental(
         )
         return EXIT_CACHE_IO
     print(f"wrote cache to {cache_path}")
-    return EXIT_OK
+    # After the cache write so the cache.dump span lands in the trace.
+    return _finish_trace(args)
 
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
+    if args.trace:
+        enable_tracing()
     try:
         with open(args.image, "rb") as handle:
             image_bytes = handle.read()
@@ -155,9 +206,6 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     try:
         if args.incremental:
             return _cmd_analyze_incremental(args, session, image_bytes)
-        if args.stats:
-            print("--stats requires --incremental", file=sys.stderr)
-            return EXIT_USAGE
         jobs = args.jobs
         if args.annotate or args.dot:
             if jobs is not None and jobs != 1:
@@ -173,16 +221,17 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         print(f"analysis failed: {error}", file=sys.stderr)
         return EXIT_ANALYSIS
     program = session.program
-    parallel = not hasattr(analysis, "psg")
     if args.json:
         payload = session.metrics()
         payload["instructions"] = program.instruction_count
         print(json.dumps(payload, indent=2, sort_keys=True))
-    elif parallel:
+    elif analysis.is_parallel:
         print(f"routines:      {program.routine_count}")
         print(f"instructions:  {program.instruction_count}")
         print()
         print(analysis.metrics.render())
+        if args.stats:
+            _print_counters(session)
     else:
         print(f"routines:      {program.routine_count}")
         print(f"instructions:  {program.instruction_count}")
@@ -198,6 +247,8 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
                 f"  {stage:<16}{getattr(timings, stage):.3f} s  "
                 f"({fraction:5.1%})"
             )
+        if args.stats:
+            _print_counters(session)
     if args.routines:
         _print_routine_summaries(analysis.result, args.routines)
     if args.annotate:
@@ -214,7 +265,7 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         with open(args.dot, "w", encoding="utf-8") as handle:
             handle.write(psg_to_dot(analysis.psg, routine=args.dot_routine))
         print(f"wrote PSG dot to {args.dot}")
-    return EXIT_OK
+    return _finish_trace(args)
 
 
 def _cmd_disasm(args: argparse.Namespace) -> int:
@@ -267,6 +318,93 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
     return EXIT_OK
 
 
+def _parse_labeled(rendered: str) -> dict:
+    """Labels of a rendered counter key (``name{k=v,...}`` -> dict)."""
+    if "{" not in rendered:
+        return {}
+    inner = rendered.split("{", 1)[1].rstrip("}")
+    return dict(pair.split("=", 1) for pair in inner.split(","))
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    try:
+        session = AnalysisSession.from_path(args.image)
+    except (OSError, ImageFormatError) as error:
+        print(f"cannot load image {args.image}: {error}", file=sys.stderr)
+        return EXIT_BAD_IMAGE
+    # Per-routine visit attribution is O(nodes) per solver pass, so the
+    # registry gates it; this subcommand is the only consumer.
+    REGISTRY.per_routine = True
+    try:
+        session.analyze(jobs=1)
+    except AnalysisError as error:
+        print(f"analysis failed: {error}", file=sys.stderr)
+        return EXIT_ANALYSIS
+    finally:
+        REGISTRY.per_routine = False
+    counters = session.metrics()["counters"]
+    per_routine: dict = {}
+    for rendered, value in counters.items():
+        if not rendered.startswith("solver.routine_iterations{"):
+            continue
+        labels = _parse_labeled(rendered)
+        entry = per_routine.setdefault(
+            labels["routine"], {"phase1": 0, "phase2": 0}
+        )
+        entry[labels["phase"]] = entry.get(labels["phase"], 0) + value
+    hot = sorted(
+        (
+            {
+                "routine": routine,
+                "phase1": visits["phase1"],
+                "phase2": visits["phase2"],
+                "total": visits["phase1"] + visits["phase2"],
+            }
+            for routine, visits in per_routine.items()
+        ),
+        key=lambda row: (-row["total"], row["routine"]),
+    )[: args.top]
+    if args.json:
+        payload = {
+            "routines": session.program.routine_count,
+            "counters": counters,
+            "hot_routines": hot,
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return EXIT_OK
+    from repro.reporting.tables import format_table
+
+    print(f"routines:          {session.program.routine_count}")
+    print(
+        f"psg nodes/edges:   "
+        f"{counters.get('psg.nodes', 0)} / "
+        f"{counters.get('psg.flow_edges', 0)} flow + "
+        f"{counters.get('psg.call_return_edges', 0)} call/return"
+    )
+    print(
+        f"solver iterations: "
+        f"phase1 {counters.get('solver.iterations{phase=phase1}', 0)}, "
+        f"phase2 {counters.get('solver.iterations{phase=phase2}', 0)}"
+    )
+    print(
+        f"max queue depth:   "
+        f"phase1 {counters.get('solver.max_queue_depth{phase=phase1}', 0)}, "
+        f"phase2 {counters.get('solver.max_queue_depth{phase=phase2}', 0)}"
+    )
+    print()
+    print(
+        format_table(
+            ["Routine", "Phase1 visits", "Phase2 visits", "Total"],
+            [
+                [row["routine"], row["phase1"], row["phase2"], row["total"]]
+                for row in hot
+            ],
+            title=f"Hot routines by worklist visits (top {args.top})",
+        )
+    )
+    return EXIT_OK
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     try:
         image = _load(args.image)
@@ -311,6 +449,16 @@ def build_parser() -> argparse.ArgumentParser:
             "(reproduction of Goodwin, PLDI 1997)"
         ),
     )
+    # Main parser only: a subparser default of None would overwrite a
+    # value parsed here (argparse applies subparser defaults last).
+    parser.add_argument(
+        "--log-level", metavar="LEVEL", default=None,
+        help=(
+            "log verbosity for the repro.* loggers (debug, info, "
+            "warning, ...); the REPRO_LOG environment variable is the "
+            "fallback default"
+        ),
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     analyze = sub.add_parser("analyze", help="analyze an executable image")
@@ -351,7 +499,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     analyze.add_argument(
         "--stats", action="store_true",
-        help="print incremental work metrics (requires --incremental)",
+        help=(
+            "print the obs counter block (and, with --incremental, the "
+            "incremental work metrics)"
+        ),
+    )
+    analyze.add_argument(
+        "--trace", metavar="FILE",
+        help=(
+            "record spans for the whole run (workers included) and "
+            "write a Chrome trace-event JSON; open in "
+            "https://ui.perfetto.dev"
+        ),
     )
     analyze.add_argument(
         "--dot", metavar="FILE", help="write the PSG as a Graphviz digraph"
@@ -382,6 +541,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
     optimize.set_defaults(func=_cmd_optimize)
 
+    report = sub.add_parser(
+        "report",
+        help="print a convergence / hot-routine table for an image",
+    )
+    report.add_argument("image")
+    report.add_argument(
+        "--top", type=int, default=10, metavar="N",
+        help="number of routines to list (default: 10)",
+    )
+    report.add_argument(
+        "--json", action="store_true",
+        help="print the counters and hot-routine list as JSON",
+    )
+    report.set_defaults(func=_cmd_report)
+
     run = sub.add_parser("run", help="execute an image in the interpreter")
     run.add_argument("image")
     run.add_argument("--max-steps", type=int, default=5_000_000)
@@ -401,6 +575,12 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    if args.log_level is not None:
+        try:
+            configure_logging(args.log_level)
+        except ValueError as error:
+            print(str(error), file=sys.stderr)
+            return EXIT_USAGE
     return args.func(args)
 
 

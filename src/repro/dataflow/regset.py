@@ -59,6 +59,19 @@ def iter_mask(mask: int) -> Iterator[int]:
         mask ^= low
 
 
+# Every RegisterSet construction (including the one behind each set
+# operator) bumps this process-local count.  It is deliberately a bare
+# dict increment rather than a registry call: this is the hottest
+# API-boundary path, and the observability layer folds the delta into
+# ``regset.constructed`` once per run instead.
+_STATS = {"constructed": 0}
+
+
+def construction_count() -> int:
+    """Cumulative number of RegisterSet objects built in this process."""
+    return _STATS["constructed"]
+
+
 class RegisterSet:
     """An immutable set of registers.
 
@@ -76,6 +89,7 @@ class RegisterSet:
 
     def __init__(self, registers: Iterable[RegisterLike] = ()) -> None:
         self._mask = mask_of(registers)
+        _STATS["constructed"] += 1
 
     @classmethod
     def from_mask(cls, mask: int) -> "RegisterSet":
@@ -84,6 +98,7 @@ class RegisterSet:
             raise ValueError(f"mask {mask:#x} exceeds the register file")
         instance = cls.__new__(cls)
         instance._mask = mask
+        _STATS["constructed"] += 1
         return instance
 
     @property

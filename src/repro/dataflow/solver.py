@@ -135,7 +135,7 @@ class SubgraphWorklist:
     their transfer function.
     """
 
-    __slots__ = ("_dependents", "_frozen", "_queue", "_queued")
+    __slots__ = ("_dependents", "_frozen", "_queue", "_queued", "max_depth")
 
     def __init__(
         self,
@@ -152,6 +152,9 @@ class SubgraphWorklist:
         self._queued = [False] * node_count
         for node in self._queue:
             self._queued[node] = True
+        #: Deepest the queue has been, including the initial seed — a
+        #: convergence gauge surfaced as ``solver.max_queue_depth``.
+        self.max_depth = len(self._queue)
 
     def enqueue(self, node: int) -> None:
         """Schedule ``node`` for (re)visiting unless frozen or queued."""
@@ -159,19 +162,35 @@ class SubgraphWorklist:
             self._queued[node] = True
             self._queue.append(node)
 
-    def run(self, transfer: Callable[[int], bool]) -> int:
-        """Iterate to a fixed point; returns the number of node visits."""
+    def run(
+        self,
+        transfer: Callable[[int], bool],
+        counts: Optional[List[int]] = None,
+    ) -> int:
+        """Iterate to a fixed point; returns the number of node visits.
+
+        ``counts`` (one slot per node in the universe) accumulates
+        per-node visit counts when provided; the phase engines use it
+        to attribute worklist work to routines for ``report``.
+        """
         queue = self._queue
         queued = self._queued
         dependents = self._dependents
         visits = 0
+        max_depth = self.max_depth
         while queue:
+            depth = len(queue)
+            if depth > max_depth:
+                max_depth = depth
             node = queue.popleft()
             queued[node] = False
             visits += 1
+            if counts is not None:
+                counts[node] += 1
             if transfer(node):
                 for dependent in dependents[node]:
                     self.enqueue(dependent)
+        self.max_depth = max_depth
         return visits
 
 

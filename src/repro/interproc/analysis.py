@@ -18,6 +18,7 @@ per-stage times, and model-based memory usage.
 
 from __future__ import annotations
 
+import logging
 import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
@@ -43,6 +44,8 @@ from repro.interproc.summaries import (
 )
 from repro.reporting.memory import MemoryModel, psg_analysis_memory
 from repro.reporting.metrics import StageTimer, StageTimings
+
+_log = logging.getLogger(__name__)
 
 
 @dataclass(frozen=True)
@@ -86,6 +89,12 @@ class InterproceduralAnalysis:
     memory_bytes: int
 
     # -- convenience -----------------------------------------------------
+
+    #: Explicit marker for CLI/report code: this result came from the
+    #: serial whole-program solver (its counterpart on
+    #: ``ParallelAnalysis`` is True).  Prefer this over duck-typing on
+    #: attributes like ``psg``.
+    is_parallel: bool = False
 
     def summary(self, routine: str) -> RoutineSummary:
         return self.result.summaries[routine]

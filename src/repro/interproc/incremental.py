@@ -35,6 +35,7 @@ builds CFGs, fingerprints them, and returns the cached result.
 
 from __future__ import annotations
 
+import logging
 import struct
 import warnings
 from dataclasses import dataclass
@@ -62,8 +63,39 @@ from repro.interproc.summaries import (
     CallSiteSummary,
     RoutineSummary,
 )
+from repro.obs.metrics import REGISTRY
+from repro.obs.tracer import span
 from repro.psg.build import PartialPsg, build_partial_psg
 from repro.reporting.metrics import IncrementalMetrics, ParallelMetrics
+
+_log = logging.getLogger(__name__)
+
+
+def record_fingerprint_verdicts(
+    fingerprints: Dict[str, int], cache: SummaryCache
+) -> Set[str]:
+    """Classify every routine's fingerprint against ``cache`` and push
+    the per-run cache.hit / cache.stale / cache.miss counters.
+
+    Returns the dirty set (stale + missing).  Shared by the serial warm
+    engine and the parallel warm path so both report identically.
+    """
+    hits = stale = missing = 0
+    dirty: Set[str] = set()
+    for name, fingerprint in fingerprints.items():
+        cached = cache.routine_fingerprints.get(name)
+        if cached is None:
+            missing += 1
+            dirty.add(name)
+        elif cached != fingerprint:
+            stale += 1
+            dirty.add(name)
+        else:
+            hits += 1
+    REGISTRY.inc("cache.hit", hits)
+    REGISTRY.inc("cache.stale", stale)
+    REGISTRY.inc("cache.miss", missing)
+    return dirty
 
 
 def routine_fingerprint(routine: Routine, cfg: ControlFlowGraph) -> int:
@@ -109,6 +141,11 @@ class IncrementalAnalysis:
     #: Shard/pool metrics when the run was solved in parallel
     #: (``jobs > 1``); ``None`` for serial runs.
     parallel: Optional[ParallelMetrics] = None
+
+    @property
+    def is_parallel(self) -> bool:
+        """True when the run was solved on the sharded worker pool."""
+        return self.parallel is not None
 
 
 def _analyze_incremental(
@@ -200,12 +237,12 @@ def _warm_run(
             name: routine_fingerprint(program.routine(name), cfgs[name])
             for name in cfgs
         }
-        dirty = {
-            name
-            for name, fingerprint in fingerprints.items()
-            if cache.routine_fingerprints.get(name) != fingerprint
-        }
+        dirty = record_fingerprint_verdicts(fingerprints, cache)
     metrics.dirty_routines = sorted(dirty)
+    _log.info(
+        "warm incremental run: %d routines, %d dirty",
+        len(cfgs), len(dirty),
+    )
 
     engine = _WarmEngine(
         program=program,
@@ -244,6 +281,9 @@ def _cold_run(
     metrics: IncrementalMetrics,
 ) -> IncrementalAnalysis:
     full = _analyze_program(program, config)
+    # No cache to consult: every routine is a miss by definition.
+    REGISTRY.inc("cache.miss", len(full.cfgs))
+    _log.info("cold incremental run: %d routines solved", len(full.cfgs))
     metrics.cold = True
     metrics.dirty_routines = sorted(full.cfgs)
     count = len(full.cfgs)
@@ -417,13 +457,16 @@ class _WarmEngine:
                 for callee, node_id in partial.external_entries.items()
             }
             with self.metrics.stage("phase1"):
-                solution = run_phase1(
-                    partial.psg,
-                    self._saved,
-                    self.preserved,
-                    self._node_order(partial),
-                    fixed_entries=fixed,
-                )
+                with span(
+                    "phase1.scc", component=index, routines=len(members)
+                ):
+                    solution = run_phase1(
+                        partial.psg,
+                        self._saved,
+                        self.preserved,
+                        self._node_order(partial),
+                        fixed_entries=fixed,
+                    )
             self.metrics.phase1_sccs_solved += 1
             self.metrics.phase1_iterations += solution.iterations
             for name in members:
@@ -520,13 +563,16 @@ class _WarmEngine:
                 for node_id in partial.psg.routines[name].return_exit_nodes():
                     seeds[node_id] = seed
             with self.metrics.stage("phase2"):
-                solution = run_phase2(
-                    partial.psg,
-                    self.call_graph.externally_callable,
-                    self.config.convention,
-                    self._node_order(partial),
-                    extra_exit_live=seeds,
-                )
+                with span(
+                    "phase2.scc", component=index, routines=len(members)
+                ):
+                    solution = run_phase2(
+                        partial.psg,
+                        self.call_graph.externally_callable,
+                        self.config.convention,
+                        self._node_order(partial),
+                        extra_exit_live=seeds,
+                    )
             self.solved2.add(index)
             self.metrics.phase2_sccs_solved += 1
             self.metrics.phase2_iterations += solution.iterations
@@ -587,6 +633,12 @@ class _WarmEngine:
     def run(self) -> AnalysisResult:
         self._run_phase1()
         self._run_phase2()
+        _log.debug(
+            "warm engine: phase1 solved %d / reused %d, "
+            "phase2 solved %d / reused %d",
+            self.metrics.phase1_solved, self.metrics.phase1_reused,
+            self.metrics.phase2_solved, self.metrics.phase2_reused,
+        )
         summaries = {
             name: self.fresh.get(name) or self.cached[name]
             for name in self.cfgs

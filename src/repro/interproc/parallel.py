@@ -46,7 +46,9 @@ hang: the pool's broken-pool signal aborts the wave.
 
 from __future__ import annotations
 
+import logging
 import multiprocessing
+import os
 import time
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
@@ -74,8 +76,20 @@ from repro.interproc.summaries import (
     CallSiteSummary,
     RoutineSummary,
 )
+from repro.dataflow.regset import construction_count
+from repro.obs import tracer as obs_tracer
+from repro.obs.metrics import REGISTRY, MetricsPayload
+from repro.obs.runid import current_run_id
+from repro.obs.tracer import SpanRecord, span
 from repro.psg.build import PartialPsg, build_partial_psg
 from repro.reporting.metrics import ParallelMetrics, ShardMetrics
+
+_log = logging.getLogger(__name__)
+
+#: Spans + counter deltas recorded in a worker process during one task;
+#: ``None`` when the task ran inline in the parent (which records into
+#: the process-wide tracer/registry directly).
+ObsPayload = Optional[Tuple[List[SpanRecord], MetricsPayload]]
 
 #: Shards per worker the partitioner aims for.  Oversubscribing keeps
 #: the pool busy when shard costs are uneven and lets the phase-2 wave
@@ -100,10 +114,12 @@ class _WorkerState:
         cfgs: Dict[str, ControlFlowGraph],
         config: AnalysisConfig,
         shard_routines: List[List[str]],
+        parent_pid: int,
     ) -> None:
         self.cfgs = cfgs
         self.config = config
         self.shard_routines = shard_routines
+        self.parent_pid = parent_pid
         self.preserved = mask_of(
             {config.convention.stack_pointer, config.convention.global_pointer}
         )
@@ -111,6 +127,13 @@ class _WorkerState:
         self.saved: Dict[str, int] = {}
         self.partials: Dict[int, PartialPsg] = {}
         self.orders: Dict[int, List[int]] = {}
+        #: Regset constructions already accounted for; each obs drain
+        #: folds the delta into the worker's registry.
+        self.regset_base = construction_count()
+
+    @property
+    def in_subprocess(self) -> bool:
+        return os.getpid() != self.parent_pid
 
 
 _STATE: Optional[_WorkerState] = None
@@ -120,9 +143,52 @@ def _init_worker(
     cfgs: Dict[str, ControlFlowGraph],
     config: AnalysisConfig,
     shard_routines: List[List[str]],
+    parent_pid: int,
+    trace_enabled: bool,
+    run_id: Optional[str],
 ) -> None:
     global _STATE
-    _STATE = _WorkerState(cfgs, config, shard_routines)
+    _STATE = _WorkerState(cfgs, config, shard_routines, parent_pid)
+    if _STATE.in_subprocess:
+        # A real (forked) worker: the inherited tracer buffer and
+        # registry belong to the parent and must not be double-counted,
+        # so install fresh per-process observability state.  The parent
+        # run id is adopted so worker log lines and spans correlate.
+        REGISTRY.reset()
+        _STATE.regset_base = construction_count()
+        if trace_enabled:
+            obs_tracer.enable(run_id=run_id)
+        else:
+            obs_tracer.disable()
+
+
+def _drain_obs(state: _WorkerState) -> ObsPayload:
+    """The observability payload shipped back with each task result.
+
+    In a subprocess: the spans and counters recorded since the last
+    drain (the parent merges them on receipt).  Inline (``jobs <= 1``):
+    ``None`` — the task already recorded into the parent's own
+    tracer/registry.
+    """
+    if not state.in_subprocess:
+        return None
+    regsets = construction_count()
+    if regsets != state.regset_base:
+        REGISTRY.inc("regset.constructed", regsets - state.regset_base)
+        state.regset_base = regsets
+    tracer = obs_tracer.get_tracer()
+    spans = tracer.drain() if tracer.enabled else []
+    return (spans, REGISTRY.collect(clear=True))
+
+
+def _absorb_obs(payload: ObsPayload) -> None:
+    """Parent side: merge a worker task's spans and counters."""
+    if payload is None:
+        return
+    spans, counters = payload
+    if spans:
+        obs_tracer.get_tracer().merge(spans)
+    REGISTRY.merge(counters)
 
 
 def _shard_partial(
@@ -161,38 +227,41 @@ def _shard_partial(
 
 def _solve_shard_phase1(
     shard_index: int, pinned: Dict[str, Tuple[int, int, int]]
-) -> Tuple[int, Dict[str, Tuple[int, int, int]], Dict[str, float], int]:
+) -> Tuple[
+    int, Dict[str, Tuple[int, int, int]], Dict[str, float], int, ObsPayload
+]:
     """Solve one shard's phase 1 against pinned callee triples.
 
     ``pinned`` maps every callee outside the shard to its converged
     ``(may_use, may_def, must_def)`` triple; returns the same encoding
     for the shard's members (plain int tuples keep the pickled
-    messages small).
+    messages small), plus the worker's observability payload.
     """
     if _FAULT_HOOK is not None:
         _FAULT_HOOK("phase1", shard_index)
     state = _STATE
     assert state is not None, "worker used before initialization"
     seconds: Dict[str, float] = {}
-    partial = _shard_partial(state, shard_index, seconds)
-    fixed = {
-        node_id: SummaryTriple(*pinned[callee])
-        for callee, node_id in partial.external_entries.items()
-    }
-    start = time.perf_counter()
-    solution = run_phase1(
-        partial.psg,
-        state.saved,
-        state.preserved,
-        state.orders[shard_index],
-        fixed_entries=fixed,
-    )
-    seconds["phase1"] = time.perf_counter() - start
-    triples = {}
-    for name in partial.members:
-        triple = solution.entry_triple(partial.psg, name)
-        triples[name] = (triple.may_use, triple.may_def, triple.must_def)
-    return shard_index, triples, seconds, solution.iterations
+    with span("phase1.shard", shard=shard_index):
+        partial = _shard_partial(state, shard_index, seconds)
+        fixed = {
+            node_id: SummaryTriple(*pinned[callee])
+            for callee, node_id in partial.external_entries.items()
+        }
+        start = time.perf_counter()
+        solution = run_phase1(
+            partial.psg,
+            state.saved,
+            state.preserved,
+            state.orders[shard_index],
+            fixed_entries=fixed,
+        )
+        seconds["phase1"] = time.perf_counter() - start
+        triples = {}
+        for name in partial.members:
+            triple = solution.entry_triple(partial.psg, name)
+            triples[name] = (triple.may_use, triple.may_def, triple.must_def)
+    return shard_index, triples, seconds, solution.iterations, _drain_obs(state)
 
 
 def _solve_shard_phase2(
@@ -200,7 +269,7 @@ def _solve_shard_phase2(
     triples: Dict[str, Tuple[int, int, int]],
     exit_seeds: Dict[str, int],
     externally_callable: Set[str],
-) -> Tuple[int, Dict[str, RoutineSummary], Dict[str, float], int]:
+) -> Tuple[int, Dict[str, RoutineSummary], Dict[str, float], int, ObsPayload]:
     """Solve one shard's phase 2 and assemble its routine summaries.
 
     ``triples`` covers the shard's members *and* every callee they can
@@ -213,6 +282,8 @@ def _solve_shard_phase2(
     state = _STATE
     assert state is not None, "worker used before initialization"
     seconds: Dict[str, float] = {}
+    shard_span = span("phase2.shard", shard=shard_index)
+    shard_span.__enter__()
     partial = _shard_partial(state, shard_index, seconds)
     psg = partial.psg
 
@@ -290,7 +361,8 @@ def _solve_shard_phase2(
             saved_restored_mask=state.saved.get(name, 0),
         )
     seconds["assemble"] = time.perf_counter() - start
-    return shard_index, summaries, seconds, solution.iterations
+    shard_span.__exit__(None, None, None)
+    return shard_index, summaries, seconds, solution.iterations, _drain_obs(state)
 
 
 # ----------------------------------------------------------------------
@@ -314,13 +386,28 @@ class _ShardScheduler:
     ) -> None:
         self.jobs = jobs
         self._pool: Optional[ProcessPoolExecutor] = None
+        # Same initializer arguments either way: inline "workers" see
+        # their own pid as the parent and leave the parent's obs state
+        # alone; forked workers reset theirs (see _init_worker).
+        initargs = (
+            cfgs,
+            config,
+            shard_routines,
+            os.getpid(),
+            obs_tracer.is_enabled(),
+            current_run_id(),
+        )
         if jobs <= 1:
-            _init_worker(cfgs, config, shard_routines)
+            _init_worker(*initargs)
         else:
+            _log.debug(
+                "starting worker pool: %d workers, %d shards",
+                jobs, len(shard_routines),
+            )
             self._pool = ProcessPoolExecutor(
                 max_workers=jobs,
                 initializer=_init_worker,
-                initargs=(cfgs, config, shard_routines),
+                initargs=initargs,
             )
 
     def close(self) -> None:
@@ -485,7 +572,9 @@ class _ShardEngine:
             return _solve_shard_phase1, (shard, pinned)
 
         def on_result(result) -> None:
-            shard, triples, seconds, iterations = result
+            shard, triples, seconds, iterations, obs_payload = result
+            _absorb_obs(obs_payload)
+            REGISTRY.inc("shards.solved", phase="phase1")
             self.triples.update(triples)
             record = self._shard_record(shard)
             for name, value in seconds.items():
@@ -542,7 +631,9 @@ class _ShardEngine:
             )
 
         def on_result(result) -> None:
-            shard, summaries, seconds, iterations = result
+            shard, summaries, seconds, iterations, obs_payload = result
+            _absorb_obs(obs_payload)
+            REGISTRY.inc("shards.solved", phase="phase2")
             self.fresh.update(summaries)
             record = self._shard_record(shard)
             for name, value in seconds.items():
@@ -582,6 +673,11 @@ class ParallelAnalysis:
     plan: ShardPlan
     result: AnalysisResult
     metrics: ParallelMetrics
+
+    #: Explicit marker for CLI/report code (counterpart of
+    #: ``InterproceduralAnalysis.is_parallel``); prefer this over
+    #: duck-typing on the absence of a ``psg`` attribute.
+    is_parallel: bool = True
 
     def summary(self, routine: str) -> RoutineSummary:
         return self.result.summaries[routine]
@@ -630,6 +726,10 @@ def analyze_parallel(
             shard_cost_heuristic(cfgs), max_shards=max(1, target)
         )
     metrics.shard_count = plan.shard_count
+    _log.info(
+        "parallel solve: %d routines in %d shards, jobs=%d",
+        program.routine_count, plan.shard_count, jobs,
+    )
 
     shard_routines = [shard.routines for shard in plan.shards]
     scheduler = _ShardScheduler(jobs, cfgs, config, shard_routines)
@@ -705,6 +805,7 @@ def analyze_incremental_parallel(
         IncrementalAnalysis,
         SummaryCache,
         orphaned_callees,
+        record_fingerprint_verdicts,
         routine_fingerprint,
     )
     from repro.reporting.metrics import IncrementalMetrics
@@ -716,6 +817,7 @@ def analyze_incremental_parallel(
         # Cold run: the sharded cold solve, plus a fresh cache to seed
         # future warm runs.
         analysis = analyze_parallel(program, config, jobs=jobs, shards=shards)
+        REGISTRY.inc("cache.miss", len(analysis.cfgs))
         metrics = IncrementalMetrics(routines_total=program.routine_count)
         metrics.cold = True
         metrics.dirty_routines = sorted(analysis.cfgs)
@@ -765,12 +867,12 @@ def analyze_incremental_parallel(
             name: routine_fingerprint(program.routine(name), cfgs[name])
             for name in cfgs
         }
-        dirty = {
-            name
-            for name, fingerprint in fingerprints.items()
-            if cache.routine_fingerprints.get(name) != fingerprint
-        }
+        dirty = record_fingerprint_verdicts(fingerprints, cache)
     metrics.dirty_routines = sorted(dirty)
+    _log.info(
+        "warm parallel run: %d routines, %d dirty, jobs=%d",
+        len(cfgs), len(dirty), jobs,
+    )
 
     cached = cache.result.summaries
     with parallel_metrics.stage("partition"):
@@ -821,6 +923,8 @@ def analyze_incremental_parallel(
     parallel_metrics.shards_reused = plan.shard_count - len(
         phase1_shards | phase2_shards
     )
+    if parallel_metrics.shards_reused:
+        REGISTRY.inc("shards.reused", parallel_metrics.shards_reused)
 
     cached_boundary = {
         name: summary for name, summary in cached.items() if name in cfgs

@@ -58,6 +58,7 @@ module's docstring for the direction argument).
 
 from __future__ import annotations
 
+import logging
 import struct
 import zlib
 from dataclasses import dataclass, field
@@ -65,6 +66,8 @@ from typing import Dict, List, Set
 
 from repro.cfg.cfg import CallSite, ExitKind
 from repro.dataflow.regset import FULL_MASK
+from repro.obs.metrics import REGISTRY
+from repro.obs.tracer import span
 from repro.interproc.summaries import (
     AnalysisResult,
     CallSiteSummary,
@@ -87,6 +90,8 @@ _EXIT_KIND_CODES = {
 _EXIT_KIND_BY_CODE = {code: kind for kind, code in _EXIT_KIND_CODES.items()}
 
 _FLAG_EXTERNALLY_CALLABLE = 1
+
+_log = logging.getLogger(__name__)
 
 
 class SummaryFormatError(ValueError):
@@ -296,15 +301,20 @@ def _check_fingerprint(fingerprint: int, expected: int) -> None:
 
 def dump_summaries(result: AnalysisResult, fingerprint: int = 0) -> bytes:
     """Serialize ``result`` (optionally bound to an image fingerprint)."""
-    writer = _Writer()
-    writer.parts.append(MAGIC)
-    writer.u64(fingerprint)
-    names = sorted(result.summaries)
-    writer.u32(len(names))
-    for name in names:
-        writer.text(name)
-        _write_summary_body(writer, result.summaries[name])
-    return writer.blob()
+    with span("sidecar.dump", routines=len(result.summaries)):
+        writer = _Writer()
+        writer.parts.append(MAGIC)
+        writer.u64(fingerprint)
+        names = sorted(result.summaries)
+        writer.u32(len(names))
+        for name in names:
+            writer.text(name)
+            _write_summary_body(writer, result.summaries[name])
+        blob = writer.blob()
+    REGISTRY.inc("sidecar.write")
+    REGISTRY.inc("sidecar.write_bytes", len(blob))
+    _log.debug("dumped SUM1 sidecar: %d routines, %d bytes", len(names), len(blob))
+    return blob
 
 
 def load_summaries(
@@ -315,15 +325,19 @@ def load_summaries(
     Pass ``expected_fingerprint=0`` to skip the staleness check (e.g.
     for summaries not bound to a specific image).
     """
-    _check_header(blob, MAGIC)
-    reader = _Reader(blob)
-    reader.offset = len(MAGIC)
-    _check_fingerprint(reader.u64(), expected_fingerprint)
-    summaries: Dict[str, RoutineSummary] = {}
-    for _ in range(reader.u32()):
-        name = reader.text()
-        summaries[name] = _read_summary_body(reader, name)
-    reader.expect_end()
+    with span("sidecar.load", bytes=len(blob)):
+        _check_header(blob, MAGIC)
+        reader = _Reader(blob)
+        reader.offset = len(MAGIC)
+        _check_fingerprint(reader.u64(), expected_fingerprint)
+        summaries: Dict[str, RoutineSummary] = {}
+        for _ in range(reader.u32()):
+            name = reader.text()
+            summaries[name] = _read_summary_body(reader, name)
+        reader.expect_end()
+    REGISTRY.inc("sidecar.load")
+    REGISTRY.inc("sidecar.load_bytes", len(blob))
+    _log.debug("loaded SUM1 sidecar: %d routines, %d bytes", len(summaries), len(blob))
     return AnalysisResult(summaries=summaries)
 
 
@@ -360,22 +374,27 @@ class SummaryCache:
 
 def dump_cache(cache: SummaryCache) -> bytes:
     """Serialize a :class:`SummaryCache` in the SUM2 format."""
-    writer = _Writer()
-    writer.parts.append(MAGIC2)
-    writer.u64(cache.image_fingerprint)
-    names = sorted(cache.result.summaries)
-    writer.u32(len(names))
-    for name in names:
-        writer.text(name)
-        writer.u64(cache.routine_fingerprints[name])
-        flags = (
-            _FLAG_EXTERNALLY_CALLABLE
-            if name in cache.externally_callable
-            else 0
-        )
-        writer.u8(flags)
-        _write_summary_body(writer, cache.result.summaries[name])
-    return writer.blob()
+    with span("cache.dump", routines=len(cache.result.summaries)):
+        writer = _Writer()
+        writer.parts.append(MAGIC2)
+        writer.u64(cache.image_fingerprint)
+        names = sorted(cache.result.summaries)
+        writer.u32(len(names))
+        for name in names:
+            writer.text(name)
+            writer.u64(cache.routine_fingerprints[name])
+            flags = (
+                _FLAG_EXTERNALLY_CALLABLE
+                if name in cache.externally_callable
+                else 0
+            )
+            writer.u8(flags)
+            _write_summary_body(writer, cache.result.summaries[name])
+        blob = writer.blob()
+    REGISTRY.inc("cache.write")
+    REGISTRY.inc("cache.write_bytes", len(blob))
+    _log.debug("dumped SUM2 cache: %d routines, %d bytes", len(names), len(blob))
+    return blob
 
 
 def load_cache(blob: bytes, expected_fingerprint: int = 0) -> SummaryCache:
@@ -386,24 +405,28 @@ def load_cache(blob: bytes, expected_fingerprint: int = 0) -> SummaryCache:
     own per-routine invalidation, so a stale image is *not* an error
     for it, just a cache with some dirty entries.
     """
-    _check_header(blob, MAGIC2)
-    reader = _Reader(blob)
-    reader.offset = len(MAGIC2)
-    fingerprint = reader.u64()
-    _check_fingerprint(fingerprint, expected_fingerprint)
-    summaries: Dict[str, RoutineSummary] = {}
-    routine_fingerprints: Dict[str, int] = {}
-    externally_callable: Set[str] = set()
-    for _ in range(reader.u32()):
-        name = reader.text()
-        routine_fingerprints[name] = reader.u64()
-        flags = reader.u8()
-        if flags & ~_FLAG_EXTERNALLY_CALLABLE:
-            raise SummaryFormatError(f"unknown routine flags {flags:#x}")
-        if flags & _FLAG_EXTERNALLY_CALLABLE:
-            externally_callable.add(name)
-        summaries[name] = _read_summary_body(reader, name)
-    reader.expect_end()
+    with span("cache.load", bytes=len(blob)):
+        _check_header(blob, MAGIC2)
+        reader = _Reader(blob)
+        reader.offset = len(MAGIC2)
+        fingerprint = reader.u64()
+        _check_fingerprint(fingerprint, expected_fingerprint)
+        summaries: Dict[str, RoutineSummary] = {}
+        routine_fingerprints: Dict[str, int] = {}
+        externally_callable: Set[str] = set()
+        for _ in range(reader.u32()):
+            name = reader.text()
+            routine_fingerprints[name] = reader.u64()
+            flags = reader.u8()
+            if flags & ~_FLAG_EXTERNALLY_CALLABLE:
+                raise SummaryFormatError(f"unknown routine flags {flags:#x}")
+            if flags & _FLAG_EXTERNALLY_CALLABLE:
+                externally_callable.add(name)
+            summaries[name] = _read_summary_body(reader, name)
+        reader.expect_end()
+    REGISTRY.inc("cache.load")
+    REGISTRY.inc("cache.load_bytes", len(blob))
+    _log.debug("loaded SUM2 cache: %d routines, %d bytes", len(summaries), len(blob))
     return SummaryCache(
         image_fingerprint=fingerprint,
         result=AnalysisResult(summaries=summaries),

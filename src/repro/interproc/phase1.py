@@ -50,8 +50,37 @@ from repro.dataflow.equations import SummaryTriple
 from repro.dataflow.solver import SubgraphWorklist
 from repro.dataflow.regset import TRACKED_MASK
 from repro.cfg.cfg import ExitKind
+from repro.obs.metrics import REGISTRY
 from repro.psg.graph import ProgramSummaryGraph
 from repro.psg.nodes import NodeKind
+
+
+def record_solve(
+    psg: ProgramSummaryGraph,
+    phase: str,
+    iterations: int,
+    max_depth: int,
+    counts: Optional[List[int]],
+) -> None:
+    """Push one solve's convergence numbers into the obs registry.
+
+    Shared by both phase engines.  ``counts`` (per-node visit counts)
+    is attributed to routines only when per-routine collection is on —
+    the mapping walk is O(nodes) and only ``spike-analyze report``
+    consumes it.
+    """
+    REGISTRY.inc("solver.iterations", iterations, phase=phase)
+    REGISTRY.observe_max("solver.max_queue_depth", max_depth, phase=phase)
+    if counts is None:
+        return
+    per_routine: Dict[str, int] = {}
+    for node, visits in zip(psg.nodes, counts):
+        if visits:
+            per_routine[node.routine] = per_routine.get(node.routine, 0) + visits
+    for routine, visits in per_routine.items():
+        REGISTRY.inc(
+            "solver.routine_iterations", visits, phase=phase, routine=routine
+        )
 
 
 @dataclass
@@ -195,9 +224,9 @@ def run_phase1(
         must_def[node_id] = xd_acc
         return changed
 
-    iterations = SubgraphWorklist(
-        node_count, dependents, is_exit, seed_order
-    ).run(defs_transfer)
+    visit_counts = [0] * node_count if REGISTRY.per_routine else None
+    defs_worklist = SubgraphWorklist(node_count, dependents, is_exit, seed_order)
+    iterations = defs_worklist.run(defs_transfer, visit_counts)
 
     # ------------------------------------------------------------------
     # Pass B: MAY-USE, with MUST-DEF now final
@@ -229,9 +258,15 @@ def run_phase1(
         may_use[node_id] = mu_acc
         return changed
 
-    iterations += SubgraphWorklist(
-        node_count, dependents, is_exit, seed_order
-    ).run(uses_transfer)
+    uses_worklist = SubgraphWorklist(node_count, dependents, is_exit, seed_order)
+    iterations += uses_worklist.run(uses_transfer, visit_counts)
+    record_solve(
+        psg,
+        "phase1",
+        iterations,
+        max(defs_worklist.max_depth, uses_worklist.max_depth),
+        visit_counts,
+    )
 
     # Persist the final labels on the resolved call-return edges; phase 2
     # re-reads them ("retained for the second dataflow phase").

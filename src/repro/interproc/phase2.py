@@ -36,6 +36,8 @@ from repro.isa.calling_convention import CallingConvention
 from repro.dataflow.regset import TRACKED_MASK, mask_of
 from repro.dataflow.solver import SubgraphWorklist
 from repro.cfg.cfg import ExitKind
+from repro.interproc.phase1 import record_solve
+from repro.obs.metrics import REGISTRY
 from repro.psg.graph import ProgramSummaryGraph
 from repro.psg.nodes import NodeKind
 
@@ -143,5 +145,7 @@ def run_phase2(
                     worklist.enqueue(dependent)
         return True
 
-    iterations = worklist.run(transfer)
+    visit_counts = [0] * node_count if REGISTRY.per_routine else None
+    iterations = worklist.run(transfer, visit_counts)
+    record_solve(psg, "phase2", iterations, worklist.max_depth, visit_counts)
     return Phase2Result(may_use=may_use, iterations=iterations)

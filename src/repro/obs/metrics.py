@@ -1,0 +1,200 @@
+"""Labeled counter/gauge registry for the analysis pipeline.
+
+A single process-wide :data:`REGISTRY` accumulates named, labeled
+counters (monotonic sums) and maxima (high-water gauges), in the
+Prometheus style: values are **cumulative for the life of the process**
+and are never implicitly reset.  Consumers that want per-run numbers —
+``AnalysisSession.metrics()``, the CLI ``--stats`` block — take a
+:meth:`MetricsRegistry.snapshot` before the run and read
+:meth:`MetricsRegistry.delta_since` after it.
+
+Counter inventory (see ``docs/observability.md`` for semantics):
+
+=============================== =====================================
+``solver.iterations{phase=}``    worklist node visits per solve phase
+``solver.max_queue_depth{phase=}`` deepest worklist (max-merged)
+``solver.routine_iterations{phase=,routine=}``
+                                 per-routine visit attribution; only
+                                 recorded while :attr:`per_routine`
+                                 is on (the ``report`` subcommand)
+``psg.builds`` / ``psg.partial_builds``  graph constructions
+``psg.nodes`` / ``psg.flow_edges`` / ``psg.call_return_edges`` /
+``psg.branch_nodes``             PSG sizes, summed over builds
+``cache.hit`` / ``cache.stale`` / ``cache.miss``  per-routine SUM2
+                                 fingerprint verdicts on a run
+``cache.load`` / ``cache.write`` (+ ``_bytes``)   SUM2 cache I/O
+``sidecar.load`` / ``sidecar.write`` (+ ``_bytes``) SUM1 sidecar I/O
+``shards.solved{phase=}`` / ``shards.reused``     parallel scheduling
+``regset.constructed``           RegisterSet objects built
+=============================== =====================================
+
+Cross-process behaviour mirrors the tracer: forked shard workers reset
+their inherited registry, accumulate locally, and ship
+``collect(clear=True)`` payloads back through the result pipe; the
+parent :meth:`merge`\\ s them (counters add, maxima max).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Mapping, Tuple
+
+#: Canonical key for one time series: ``(name, ((label, value), ...))``
+#: with the label pairs sorted.
+MetricKey = Tuple[str, Tuple[Tuple[str, str], ...]]
+
+#: Serialisable registry payload shipped from workers to the parent:
+#: ``(counter_items, maxima_items)``.
+MetricsPayload = Tuple[
+    List[Tuple[MetricKey, float]], List[Tuple[MetricKey, float]]
+]
+
+#: Keys that :meth:`MetricsRegistry.delta_since` always emits (as zero
+#: when untouched) so ``--json`` consumers can rely on their presence.
+SEEDED_KEYS: Tuple[MetricKey, ...] = (
+    ("cache.hit", ()),
+    ("cache.miss", ()),
+    ("cache.stale", ()),
+    ("cache.write", ()),
+    ("solver.iterations", (("phase", "phase1"),)),
+    ("solver.iterations", (("phase", "phase2"),)),
+)
+
+
+def _key(name: str, labels: Mapping[str, Any]) -> MetricKey:
+    if not labels:
+        return (name, ())
+    return (
+        name,
+        tuple(sorted((key, str(value)) for key, value in labels.items())),
+    )
+
+
+def render_key(key: MetricKey) -> str:
+    """``name`` or ``name{k=v,...}`` — the stable external spelling."""
+    name, labels = key
+    if not labels:
+        return name
+    inner = ",".join(f"{label}={value}" for label, value in labels)
+    return f"{name}{{{inner}}}"
+
+
+def _numeric(value: float) -> float:
+    """Ints stay ints in JSON output; floats stay floats."""
+    as_int = int(value)
+    return as_int if as_int == value else value
+
+
+class MetricsRegistry:
+    """Cumulative labeled counters and maxima."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[MetricKey, float] = {}
+        self._maxima: Dict[MetricKey, float] = {}
+        #: When true, the phase engines additionally attribute worklist
+        #: visits to individual routines
+        #: (``solver.routine_iterations``).  Off by default: the
+        #: attribution pass is O(nodes) per solve and only the
+        #: ``report`` subcommand reads it.
+        self.per_routine = False
+
+    # -- recording ----------------------------------------------------
+
+    def inc(self, name: str, amount: float = 1, **labels: Any) -> None:
+        key = _key(name, labels)
+        self._counters[key] = self._counters.get(key, 0) + amount
+
+    def observe_max(self, name: str, value: float, **labels: Any) -> None:
+        key = _key(name, labels)
+        if value > self._maxima.get(key, float("-inf")):
+            self._maxima[key] = value
+
+    # -- reading ------------------------------------------------------
+
+    def value(self, name: str, **labels: Any) -> float:
+        key = _key(name, labels)
+        if key in self._counters:
+            return self._counters[key]
+        return self._maxima.get(key, 0)
+
+    def labeled(self, name: str) -> List[Tuple[Dict[str, str], float]]:
+        """All series with the given name: ``[(labels_dict, value)]``."""
+        out: List[Tuple[Dict[str, str], float]] = []
+        for store in (self._counters, self._maxima):
+            for (series, labels), value in store.items():
+                if series == name:
+                    out.append((dict(labels), value))
+        return out
+
+    def snapshot(self) -> Dict[MetricKey, float]:
+        """Counter values now — pair with :meth:`delta_since`."""
+        return dict(self._counters)
+
+    def delta_since(self, snapshot: Mapping[MetricKey, float]) -> Dict[str, float]:
+        """Per-run view: counter deltas plus current maxima.
+
+        Keys are rendered strings (``name{label=value}``), sorted, with
+        :data:`SEEDED_KEYS` always present (zero when untouched) and
+        maxima reported at their cumulative high-water mark.
+        """
+        out: Dict[str, float] = {}
+        for key, value in self._counters.items():
+            delta = value - snapshot.get(key, 0)
+            if delta:
+                out[render_key(key)] = _numeric(delta)
+        for key in SEEDED_KEYS:
+            out.setdefault(render_key(key), 0)
+        for key, value in self._maxima.items():
+            out[render_key(key)] = _numeric(value)
+        return dict(sorted(out.items()))
+
+    def as_dict(self) -> Dict[str, float]:
+        """Every series, cumulative, keyed by rendered name."""
+        out = {
+            render_key(key): _numeric(value)
+            for key, value in self._counters.items()
+        }
+        for key, value in self._maxima.items():
+            out[render_key(key)] = _numeric(value)
+        return dict(sorted(out.items()))
+
+    # -- cross-process plumbing ---------------------------------------
+
+    def collect(self, clear: bool = False) -> MetricsPayload:
+        """Detach a payload for the result pipe (worker side)."""
+        payload = (list(self._counters.items()), list(self._maxima.items()))
+        if clear:
+            self._counters = {}
+            self._maxima = {}
+        return payload
+
+    def merge(self, payload: MetricsPayload) -> None:
+        """Absorb a worker payload: counters add, maxima max."""
+        counters, maxima = payload
+        for key, value in counters:
+            key = (key[0], tuple(tuple(pair) for pair in key[1]))
+            self._counters[key] = self._counters.get(key, 0) + value
+        for key, value in maxima:
+            key = (key[0], tuple(tuple(pair) for pair in key[1]))
+            if value > self._maxima.get(key, float("-inf")):
+                self._maxima[key] = value
+
+    def reset(self) -> None:
+        """Drop everything (worker init after fork; tests)."""
+        self._counters = {}
+        self._maxima = {}
+
+
+REGISTRY = MetricsRegistry()
+
+
+def render_counters(counters: Mapping[str, float], indent: str = "  ") -> str:
+    """Align a ``delta_since`` mapping for the CLI ``--stats`` block."""
+    if not counters:
+        return f"{indent}(no counters recorded)"
+    width = max(len(name) for name in counters)
+    lines = []
+    for name in sorted(counters):
+        value = counters[name]
+        rendered = f"{value:,}" if isinstance(value, int) else f"{value:,.2f}"
+        lines.append(f"{indent}{name:<{width}}  {rendered}")
+    return "\n".join(lines)

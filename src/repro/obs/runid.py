@@ -1,0 +1,34 @@
+"""Run-scoped trace identifiers.
+
+Every analysis run (one ``AnalysisSession.analyze*`` call, or one CLI
+invocation) is stamped with a short random hex identifier.  The same id
+appears in log lines, in the exported Chrome trace, and is shipped to
+parallel shard workers so that spans recorded in subprocesses can be
+correlated with the parent run.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+_RUN_ID: Optional[str] = None
+
+
+def new_run_id() -> str:
+    """Install and return a fresh run identifier (12 hex chars)."""
+    global _RUN_ID
+    _RUN_ID = os.urandom(6).hex()
+    return _RUN_ID
+
+
+def set_run_id(value: str) -> str:
+    """Adopt an externally chosen run id (used by shard workers)."""
+    global _RUN_ID
+    _RUN_ID = value
+    return value
+
+
+def current_run_id() -> Optional[str]:
+    """The active run id, or ``None`` before the first run starts."""
+    return _RUN_ID

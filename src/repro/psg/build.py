@@ -22,8 +22,12 @@ Two labeling strategies are provided:
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.obs.metrics import REGISTRY
+from repro.obs.tracer import span
 
 from repro.isa.calling_convention import CallingConvention, NT_ALPHA
 from repro.dataflow.equations import (
@@ -38,6 +42,26 @@ from repro.cfg.cfg import ControlFlowGraph, TerminatorKind
 from repro.cfg.subgraph import backward_reachable, forward_reachable
 from repro.psg.graph import ProgramSummaryGraph, RoutinePSG
 from repro.psg.nodes import CallReturnEdge, FlowEdge, NodeKind, PSGNode
+
+
+_log = logging.getLogger(__name__)
+
+
+def _count_build(psg: ProgramSummaryGraph, partial: bool) -> None:
+    """Record one PSG construction's sizes in the obs registry.
+
+    Partial builds (incremental cones, parallel shards) add into the
+    same size counters — the totals then read as "PSG construction work
+    performed this run", which is the Table-5 quantity that matters.
+    """
+    branch_nodes = sum(
+        len(routine.branch_nodes) for routine in psg.routines.values()
+    )
+    REGISTRY.inc("psg.partial_builds" if partial else "psg.builds")
+    REGISTRY.inc("psg.nodes", len(psg.nodes))
+    REGISTRY.inc("psg.flow_edges", len(psg.flow_edges))
+    REGISTRY.inc("psg.call_return_edges", len(psg.call_return_edges))
+    REGISTRY.inc("psg.branch_nodes", branch_nodes)
 
 
 class PsgBuildError(ValueError):
@@ -89,23 +113,29 @@ def build_psg(
     flow_edges: List[FlowEdge] = []
     call_return_edges: List[CallReturnEdge] = []
     routines: Dict[str, RoutinePSG] = {}
-    for routine in program:
-        routine_psg = build_routine_psg(
-            cfgs[routine.name],
-            local_sets[routine.name],
-            config,
-            nodes,
-            flow_edges,
-            call_return_edges,
+    with span("psg.build", routines=len(cfgs)):
+        for routine in program:
+            routine_psg = build_routine_psg(
+                cfgs[routine.name],
+                local_sets[routine.name],
+                config,
+                nodes,
+                flow_edges,
+                call_return_edges,
+            )
+            routines[routine.name] = routine_psg
+        psg = ProgramSummaryGraph(
+            nodes=nodes,
+            flow_edges=flow_edges,
+            call_return_edges=call_return_edges,
+            routines=routines,
         )
-        routines[routine.name] = routine_psg
-    psg = ProgramSummaryGraph(
-        nodes=nodes,
-        flow_edges=flow_edges,
-        call_return_edges=call_return_edges,
-        routines=routines,
+        psg.check()
+    _count_build(psg, partial=False)
+    _log.debug(
+        "built PSG: %d routines, %d nodes, %d flow edges, %d call-return edges",
+        len(routines), len(nodes), len(flow_edges), len(call_return_edges),
     )
-    psg.check()
     return psg
 
 
@@ -142,39 +172,45 @@ def build_partial_psg(
     call_return_edges: List[CallReturnEdge] = []
     routines: Dict[str, RoutinePSG] = {}
     member_set = set(members)
-    for name in members:
-        routines[name] = build_routine_psg(
-            cfgs[name],
-            local_sets[name],
-            config,
-            nodes,
-            flow_edges,
-            call_return_edges,
+    with span("psg.build_partial", members=len(members)):
+        for name in members:
+            routines[name] = build_routine_psg(
+                cfgs[name],
+                local_sets[name],
+                config,
+                nodes,
+                flow_edges,
+                call_return_edges,
+            )
+        external_entries: Dict[str, int] = {}
+        for edge in call_return_edges:
+            for callee in edge.callees:
+                if callee in member_set or callee in external_entries:
+                    continue
+                node = PSGNode(
+                    id=len(nodes), kind=NodeKind.ENTRY, routine=callee, block=0
+                )
+                nodes.append(node)
+                external_entries[callee] = node.id
+                routines[callee] = RoutinePSG(
+                    routine=callee,
+                    entry_node=node.id,
+                    exit_nodes=[],
+                    call_pairs=[],
+                    branch_nodes=[],
+                )
+        psg = ProgramSummaryGraph(
+            nodes=nodes,
+            flow_edges=flow_edges,
+            call_return_edges=call_return_edges,
+            routines=routines,
         )
-    external_entries: Dict[str, int] = {}
-    for edge in call_return_edges:
-        for callee in edge.callees:
-            if callee in member_set or callee in external_entries:
-                continue
-            node = PSGNode(
-                id=len(nodes), kind=NodeKind.ENTRY, routine=callee, block=0
-            )
-            nodes.append(node)
-            external_entries[callee] = node.id
-            routines[callee] = RoutinePSG(
-                routine=callee,
-                entry_node=node.id,
-                exit_nodes=[],
-                call_pairs=[],
-                branch_nodes=[],
-            )
-    psg = ProgramSummaryGraph(
-        nodes=nodes,
-        flow_edges=flow_edges,
-        call_return_edges=call_return_edges,
-        routines=routines,
+        psg.check()
+    _count_build(psg, partial=True)
+    _log.debug(
+        "built partial PSG: %d members, %d external entries, %d nodes",
+        len(members), len(external_entries), len(nodes),
     )
-    psg.check()
     return PartialPsg(
         psg=psg, members=list(members), external_entries=external_entries
     )

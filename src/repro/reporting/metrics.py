@@ -25,6 +25,8 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List
 
+from repro.obs.tracer import span as _obs_span
+
 #: Stage names, in pipeline order (the Figure-13 legend).
 STAGE_NAMES = ("cfg_build", "initialization", "psg_build", "phase1", "phase2")
 
@@ -71,12 +73,17 @@ class StageTimer:
 
     @contextmanager
     def stage(self, name: str) -> Iterator[None]:
-        """Time a ``with`` block under stage ``name``."""
+        """Time a ``with`` block under stage ``name``.
+
+        Every timed stage also opens an obs span of the same name, so
+        ``--trace`` gets the Figure-13 stage breakdown for free.
+        """
         if name not in STAGE_NAMES:
             raise ValueError(f"unknown stage {name!r}")
         start = time.perf_counter()
         try:
-            yield
+            with _obs_span(name, kind="stage"):
+                yield
         finally:
             elapsed = time.perf_counter() - start
             setattr(self.timings, name, getattr(self.timings, name) + elapsed)
@@ -131,7 +138,8 @@ class IncrementalMetrics:
             raise ValueError(f"unknown incremental stage {name!r}")
         start = time.perf_counter()
         try:
-            yield
+            with _obs_span(name, kind="stage", incremental=True):
+                yield
         finally:
             elapsed = time.perf_counter() - start
             self.seconds[name] = self.seconds.get(name, 0.0) + elapsed
@@ -230,7 +238,8 @@ class ParallelMetrics:
         """Time a parent-side ``with`` block under ``name``."""
         start = time.perf_counter()
         try:
-            yield
+            with _obs_span(name, kind="stage", parallel=True):
+                yield
         finally:
             elapsed = time.perf_counter() - start
             self.wall_seconds[name] = (

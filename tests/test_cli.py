@@ -215,9 +215,128 @@ class TestExitCodes:
         # The analysis itself still ran and printed its report.
         assert "reanalyzed:" in captured.out
 
-    def test_stats_without_incremental_is_2(self, image_path, capsys):
-        assert main(["analyze", image_path, "--stats"]) == 2
-        assert "--incremental" in capsys.readouterr().err
+    def test_unwritable_trace_is_5(self, image_path, tmp_path, capsys):
+        trace_dir = tmp_path / "trace.json"
+        trace_dir.mkdir()
+        code = main(["analyze", image_path, "--trace", str(trace_dir)])
+        assert code == 5
+        captured = capsys.readouterr()
+        assert "could not write trace" in captured.err
+        # The analysis itself still ran and printed its report.
+        assert "routines:" in captured.out
+
+    def test_bad_log_level_is_2(self, image_path, capsys):
+        assert main(["--log-level", "bogus", "analyze", image_path]) == 2
+        assert "bogus" in capsys.readouterr().err
+
+
+class TestStatsFlag:
+    """--stats works for every analyze mode, not just --incremental."""
+
+    def test_cold_serial_stats(self, image_path, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        assert main(["analyze", image_path, "--stats"]) == 0
+        out = capsys.readouterr().out
+        assert "counters:" in out
+        assert "solver.iterations{phase=phase1}" in out
+        assert "psg.nodes" in out
+
+    def test_cold_parallel_stats(self, image_path, capsys):
+        assert main(["analyze", image_path, "--jobs", "2", "--stats"]) == 0
+        out = capsys.readouterr().out
+        assert "pool utilization:" in out
+        assert "counters:" in out
+        assert "shards.solved{phase=phase1}" in out
+
+
+class TestTraceFlag:
+    def test_trace_writes_chrome_trace_json(
+        self, image_path, tmp_path, capsys, monkeypatch
+    ):
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        trace = tmp_path / "trace.json"
+        assert main(["analyze", image_path, "--trace", str(trace)]) == 0
+        assert "wrote trace to" in capsys.readouterr().out
+        document = json.loads(trace.read_text())
+        events = document["traceEvents"]
+        durations = [event for event in events if event["ph"] == "X"]
+        assert durations
+        names = {event["name"] for event in durations}
+        assert "analyze" in names
+        assert "psg.build" in names
+        for event in durations:
+            assert event["ts"] >= 0 and event["dur"] >= 0
+
+    def test_trace_with_json_keeps_stdout_parseable(
+        self, image_path, tmp_path, capsys
+    ):
+        trace = tmp_path / "trace.json"
+        assert main(
+            ["analyze", image_path, "--json", "--trace", str(trace)]
+        ) == 0
+        captured = capsys.readouterr()
+        payload = json.loads(captured.out)
+        assert payload["kind"] in ("serial", "parallel")
+        assert "wrote trace to" in captured.err
+
+
+class TestReportSubcommand:
+    def test_report_prints_hot_routine_table(self, image_path, capsys):
+        assert main(["report", image_path]) == 0
+        out = capsys.readouterr().out
+        assert "Hot routines by worklist visits" in out
+        assert "Routine" in out and "Phase1 visits" in out
+        assert "main" in out and "helper" in out
+        assert "solver iterations:" in out
+
+    def test_report_json(self, image_path, capsys):
+        assert main(["report", image_path, "--json", "--top", "1"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload["hot_routines"]) == 1
+        row = payload["hot_routines"][0]
+        assert row["total"] == row["phase1"] + row["phase2"] > 0
+        assert "solver.iterations{phase=phase1}" in payload["counters"]
+
+    def test_report_missing_image_is_3(self, tmp_path, capsys):
+        assert main(["report", str(tmp_path / "absent.sax")]) == 3
+        assert "cannot load image" in capsys.readouterr().err
+
+    def test_report_restores_per_routine_flag(self, image_path, capsys):
+        from repro.obs import REGISTRY
+
+        assert REGISTRY.per_routine is False
+        assert main(["report", image_path]) == 0
+        assert REGISTRY.per_routine is False
+
+
+class TestJsonCounters:
+    def test_payload_includes_counters(self, image_path, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        assert main(["analyze", image_path, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        counters = payload["counters"]
+        assert counters["solver.iterations{phase=phase1}"] > 0
+        assert counters["solver.iterations{phase=phase2}"] > 0
+        # Seeded keys are present even when the run never touched them.
+        assert counters["cache.hit"] == 0
+        assert counters["cache.miss"] == 0
+
+    def test_incremental_payload_counts_cache_verdicts(
+        self, image_path, tmp_path, capsys
+    ):
+        cache = str(tmp_path / "prog.sum2")
+        args = [
+            "analyze", image_path, "--incremental", "--cache", cache,
+            "--json",
+        ]
+        assert main(args) == 0
+        cold = json.loads(capsys.readouterr().out.split("wrote cache")[0])
+        assert cold["counters"]["cache.miss"] == 2
+        assert cold["counters"]["cache.hit"] == 0
+        assert main(args) == 0
+        warm = json.loads(capsys.readouterr().out.split("wrote cache")[0])
+        assert warm["counters"]["cache.hit"] == 2
+        assert warm["counters"]["cache.miss"] == 0
 
 
 class TestIncrementalParallel:

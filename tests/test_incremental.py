@@ -381,14 +381,19 @@ class TestIncrementalCli:
         assert "unreadable cache" in captured.out
         assert "could not write cache" in captured.err
 
-    def test_stats_requires_incremental(self, tmp_path, capsys):
+    def test_stats_without_incremental_prints_counters(
+        self, tmp_path, capsys
+    ):
         image = tmp_path / "bench.img"
         cli.main(
             ["generate", "compress", "--scale", "0.1", "--seed", "3",
              "-o", str(image)]
         )
         capsys.readouterr()
-        assert cli.main(["analyze", str(image), "--stats"]) == 2
+        assert cli.main(["analyze", str(image), "--stats"]) == 0
+        out = capsys.readouterr().out
+        assert "counters:" in out
+        assert "solver.iterations{phase=phase1}" in out
 
     def test_annotate_rejected_with_incremental(self, tmp_path, capsys):
         image = tmp_path / "bench.img"
