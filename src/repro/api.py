@@ -14,6 +14,15 @@ failure modes.  This module fronts them all with a single facade:
 >>> session.summaries().summaries["main"].call_used
 >>> session.metrics()                           # JSON-ready stats
 
+Every constructor accepts an optional :class:`AnalysisConfig`; e.g. to
+pin the flow-summary labeling strategy (``"batched"`` is the default,
+``"per-target"`` the pre-batching implementation — results are
+identical, see :mod:`repro.dataflow.equations`):
+
+>>> from repro.psg.build import PsgConfig
+>>> config = AnalysisConfig(psg=PsgConfig(labeling="per-target"))
+>>> session = AnalysisSession.from_image_bytes(blob, config)
+
 Construction never analyzes; the first ``analyze*`` call does, and its
 products are retained on the session for ``summaries()``/``metrics()``.
 Failures that prevent an analysis from completing — a PSG that cannot

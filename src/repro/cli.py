@@ -44,7 +44,7 @@ import os
 import sys
 from typing import List, Optional
 
-from repro.api import AnalysisError, AnalysisSession
+from repro.api import AnalysisConfig, AnalysisError, AnalysisSession
 from repro.dataflow.regset import RegisterSet
 from repro.obs import (
     REGISTRY,
@@ -193,13 +193,28 @@ def _cmd_analyze_incremental(
     return _finish_trace(args)
 
 
+def _labeling_config(labeling: Optional[str]) -> Optional[AnalysisConfig]:
+    """Map the ``--labeling`` choice to an analysis config (None = default)."""
+    if labeling is None:
+        return None
+    from repro.psg.build import PsgConfig
+
+    if labeling == "per-edge":
+        psg = PsgConfig(per_edge_labeling=True)
+    else:
+        psg = PsgConfig(labeling=labeling)
+    return AnalysisConfig(psg=psg)
+
+
 def _cmd_analyze(args: argparse.Namespace) -> int:
     if args.trace:
         enable_tracing()
     try:
         with open(args.image, "rb") as handle:
             image_bytes = handle.read()
-        session = AnalysisSession.from_image_bytes(image_bytes)
+        session = AnalysisSession.from_image_bytes(
+            image_bytes, _labeling_config(args.labeling)
+        )
     except (OSError, ImageFormatError) as error:
         print(f"cannot load image {args.image}: {error}", file=sys.stderr)
         return EXIT_BAD_IMAGE
@@ -473,6 +488,16 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.add_argument(
         "--json", action="store_true",
         help="print one machine-readable JSON stats object",
+    )
+    analyze.add_argument(
+        "--labeling", choices=["batched", "per-target", "per-edge"],
+        default=None, metavar="STRATEGY",
+        help=(
+            "flow-summary labeling strategy: batched (default; one "
+            "region pass per routine), per-target (one worklist solve "
+            "per PSG target), or per-edge (the paper's literal Figure-6 "
+            "formulation; slowest).  All three produce identical labels"
+        ),
     )
     analyze.add_argument(
         "-r", "--routine", dest="routines", action="append", default=[],

@@ -129,11 +129,8 @@ def solve_liveness(
     def transfer(node: int, out_mask: int) -> int:
         return gen[node] | (out_mask & ~kill[node])
 
-    def combine(states: Sequence[int]) -> int:
-        mask = 0
-        for state in states:
-            mask |= state
-        return mask
+    def combine(left: int, right: int) -> int:
+        return left | right
 
     solver: WorklistSolver[int] = WorklistSolver(len(blocks), edges)
     successor_lists = [list(block.successors) for block in blocks]

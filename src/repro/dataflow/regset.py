@@ -17,6 +17,7 @@ from __future__ import annotations
 from typing import FrozenSet, Iterable, Iterator, List, Union
 
 from repro.isa.registers import (
+    ALL_REGISTERS,
     FLOAT_ZERO_REGISTER,
     NUM_REGISTERS,
     Register,
@@ -164,8 +165,15 @@ class RegisterSet:
     def __bool__(self) -> bool:
         return self._mask != 0
 
-    def __len__(self) -> int:
-        return bin(self._mask).count("1")
+    if hasattr(int, "bit_count"):  # Python >= 3.10
+
+        def __len__(self) -> int:
+            return self._mask.bit_count()
+
+    else:  # pragma: no cover - exercised only on Python 3.9
+
+        def __len__(self) -> int:
+            return bin(self._mask).count("1")
 
     def __eq__(self, other: object) -> bool:
         if isinstance(other, RegisterSet):
@@ -178,7 +186,9 @@ class RegisterSet:
     # -- iteration / presentation -----------------------------------------
 
     def __iter__(self) -> Iterator[Register]:
-        return (Register(index) for index in iter_mask(self._mask))
+        # Interned instances from the ISA table: iterating a set never
+        # constructs (or range-checks) a Register per member.
+        return (ALL_REGISTERS[index] for index in iter_mask(self._mask))
 
     def registers(self) -> List[Register]:
         """Members as a sorted list."""

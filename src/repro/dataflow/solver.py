@@ -11,7 +11,7 @@ arcs, as in every analysis in the paper): for each node ``n``,
 
 .. code-block:: none
 
-    OUT[n] = combine(IN[s] for s in successors(n))   (boundary if none)
+    OUT[n] = fold(combine, IN[s] for s in successors(n))   (boundary if none)
     IN[n]  = transfer(n, OUT[n])
 
 States are arbitrary hashable values supplied by the client (in
@@ -29,7 +29,11 @@ from typing import Callable, Generic, Iterable, List, Optional, Sequence, Tuple,
 State = TypeVar("State")
 
 Transfer = Callable[[int, State], State]
-Combine = Callable[[Sequence[State]], State]
+#: Binary combine: folds two states into one.  The solver folds a
+#: node's successor states pairwise, so a visit allocates no
+#: intermediate list and a single-successor node (the common case)
+#: never calls combine at all.
+Combine = Callable[[State, State], State]
 
 
 class SolverDivergence(RuntimeError):
@@ -103,8 +107,13 @@ class WorklistSolver(Generic[State]):
                 )
             node = worklist.popleft()
             queued[node] = False
-            successor_states = [states[s] for s in self._successors[node]]
-            out_state = combine(successor_states) if successor_states else boundary
+            succs = self._successors[node]
+            if succs:
+                out_state = states[succs[0]]
+                for i in range(1, len(succs)):
+                    out_state = combine(out_state, states[succs[i]])
+            else:
+                out_state = boundary
             new_state = transfer(node, out_state)
             if new_state != states[node]:
                 states[node] = new_state

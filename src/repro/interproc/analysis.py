@@ -42,10 +42,36 @@ from repro.interproc.summaries import (
     CallSiteSummary,
     RoutineSummary,
 )
+from repro.obs.metrics import REGISTRY
 from repro.reporting.memory import MemoryModel, psg_analysis_memory
 from repro.reporting.metrics import StageTimer, StageTimings
 
 _log = logging.getLogger(__name__)
+
+
+def frontend_chunks(program: Program, chunk_count: int) -> List[List[str]]:
+    """Cost-balanced routine chunks for the parallel front end.
+
+    Per-routine CFG construction, local-set generation and §3.4
+    saved/restored detection are all independent, so the front end is
+    embarrassingly parallel; the only scheduling concern is balance.
+    Routines are dealt greedily (largest first, onto the lightest
+    chunk) by instruction count — the one size signal available before
+    any CFG exists.  Chunk *contents* affect only which worker builds
+    what, never the assembled result, which the parent reorders into
+    program order.
+    """
+    chunk_count = max(1, chunk_count)
+    sized = sorted(
+        ((len(routine), routine.name) for routine in program), reverse=True
+    )
+    chunks: List[List[str]] = [[] for _ in range(chunk_count)]
+    loads = [0] * chunk_count
+    for size, name in sized:
+        lightest = loads.index(min(loads))
+        chunks[lightest].append(name)
+        loads[lightest] += size
+    return [chunk for chunk in chunks if chunk]
 
 
 @dataclass(frozen=True)
@@ -122,6 +148,7 @@ def _analyze_program(
     with timer.stage("cfg_build"):
         cfgs = build_all_cfgs(program)
         call_graph = build_call_graph(program, cfgs)
+    REGISTRY.inc("frontend.routines", len(cfgs))
 
     with timer.stage("initialization"):
         local_sets = {

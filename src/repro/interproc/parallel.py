@@ -54,7 +54,7 @@ from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wai
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
-from repro.cfg.build import build_all_cfgs
+from repro.cfg.build import build_all_cfgs, build_cfg
 from repro.cfg.callgraph import (
     CallGraph,
     Condensation,
@@ -65,7 +65,11 @@ from repro.cfg.cfg import CallSite, ControlFlowGraph, ExitKind
 from repro.dataflow.equations import SummaryTriple
 from repro.dataflow.local import LocalSets, compute_local_sets
 from repro.dataflow.regset import TRACKED_MASK, mask_of
-from repro.interproc.analysis import AnalysisConfig, node_seed_order
+from repro.interproc.analysis import (
+    AnalysisConfig,
+    frontend_chunks,
+    node_seed_order,
+)
 from repro.program.model import Program
 from repro.interproc.errors import AnalysisError
 from repro.interproc.phase1 import run_phase1
@@ -96,6 +100,11 @@ ObsPayload = Optional[Tuple[List[SpanRecord], MetricsPayload]]
 #: start draining while stragglers of unrelated subtrees finish.
 SHARDS_PER_WORKER = 4
 
+#: Front-end chunks per worker.  Finer-grained than shards: front-end
+#: tasks have no dependencies, so extra chunks cost only one message
+#: each and smooth out routine-size imbalance.
+FRONTEND_CHUNKS_PER_WORKER = 4
+
 #: Test-only fault injection: when set, every shard task calls it with
 #: ``(phase, shard_index)`` on entry.  A test that points it at
 #: ``os._exit`` simulates a worker crash; forked workers inherit it.
@@ -106,27 +115,11 @@ _FAULT_HOOK: Optional[Callable[[str, int], None]] = None
 # Worker side
 # ----------------------------------------------------------------------
 
-class _WorkerState:
-    """Per-process state: program structures plus lazy per-shard caches."""
+class _ProcessState:
+    """Observability bookkeeping shared by every worker-state flavor."""
 
-    def __init__(
-        self,
-        cfgs: Dict[str, ControlFlowGraph],
-        config: AnalysisConfig,
-        shard_routines: List[List[str]],
-        parent_pid: int,
-    ) -> None:
-        self.cfgs = cfgs
-        self.config = config
-        self.shard_routines = shard_routines
+    def __init__(self, parent_pid: int) -> None:
         self.parent_pid = parent_pid
-        self.preserved = mask_of(
-            {config.convention.stack_pointer, config.convention.global_pointer}
-        )
-        self.local_sets: Dict[str, List[LocalSets]] = {}
-        self.saved: Dict[str, int] = {}
-        self.partials: Dict[int, PartialPsg] = {}
-        self.orders: Dict[int, List[int]] = {}
         #: Regset constructions already accounted for; each obs drain
         #: folds the delta into the worker's registry.
         self.regset_base = construction_count()
@@ -134,6 +127,54 @@ class _WorkerState:
     @property
     def in_subprocess(self) -> bool:
         return os.getpid() != self.parent_pid
+
+    def reset_obs(self, trace_enabled: bool, run_id: Optional[str]) -> None:
+        """Install fresh per-process observability state in a fork.
+
+        The inherited tracer buffer and registry belong to the parent
+        and must not be double-counted.  The parent run id is adopted
+        so worker log lines and spans correlate.  No-op when "worker"
+        code runs inline in the parent process.
+        """
+        if not self.in_subprocess:
+            return
+        REGISTRY.reset()
+        self.regset_base = construction_count()
+        if trace_enabled:
+            obs_tracer.enable(run_id=run_id)
+        else:
+            obs_tracer.disable()
+
+
+class _WorkerState(_ProcessState):
+    """Per-process solve state: program structures plus lazy per-shard
+    caches.  ``local_sets``/``saved`` may arrive prepopulated (the cold
+    path's parallel front end already built every routine's artifacts;
+    forked workers inherit them for free), in which case the shard
+    tasks recompute nothing."""
+
+    def __init__(
+        self,
+        cfgs: Dict[str, ControlFlowGraph],
+        config: AnalysisConfig,
+        shard_routines: List[List[str]],
+        parent_pid: int,
+        local_sets: Optional[Dict[str, List[LocalSets]]] = None,
+        saved: Optional[Dict[str, int]] = None,
+    ) -> None:
+        super().__init__(parent_pid)
+        self.cfgs = cfgs
+        self.config = config
+        self.shard_routines = shard_routines
+        self.preserved = mask_of(
+            {config.convention.stack_pointer, config.convention.global_pointer}
+        )
+        self.local_sets: Dict[str, List[LocalSets]] = (
+            dict(local_sets) if local_sets else {}
+        )
+        self.saved: Dict[str, int] = dict(saved) if saved else {}
+        self.partials: Dict[int, PartialPsg] = {}
+        self.orders: Dict[int, List[int]] = {}
 
 
 _STATE: Optional[_WorkerState] = None
@@ -146,23 +187,88 @@ def _init_worker(
     parent_pid: int,
     trace_enabled: bool,
     run_id: Optional[str],
+    local_sets: Optional[Dict[str, List[LocalSets]]] = None,
+    saved: Optional[Dict[str, int]] = None,
 ) -> None:
     global _STATE
-    _STATE = _WorkerState(cfgs, config, shard_routines, parent_pid)
-    if _STATE.in_subprocess:
-        # A real (forked) worker: the inherited tracer buffer and
-        # registry belong to the parent and must not be double-counted,
-        # so install fresh per-process observability state.  The parent
-        # run id is adopted so worker log lines and spans correlate.
-        REGISTRY.reset()
-        _STATE.regset_base = construction_count()
-        if trace_enabled:
-            obs_tracer.enable(run_id=run_id)
-        else:
-            obs_tracer.disable()
+    _STATE = _WorkerState(
+        cfgs, config, shard_routines, parent_pid,
+        local_sets=local_sets, saved=saved,
+    )
+    _STATE.reset_obs(trace_enabled, run_id)
 
 
-def _drain_obs(state: _WorkerState) -> ObsPayload:
+class _FrontendState(_ProcessState):
+    """Per-process front-end state: just the program and config."""
+
+    def __init__(
+        self, program: Program, config: AnalysisConfig, parent_pid: int
+    ) -> None:
+        super().__init__(parent_pid)
+        self.program = program
+        self.config = config
+
+
+_FE_STATE: Optional[_FrontendState] = None
+
+
+def _init_frontend(
+    program: Program,
+    config: AnalysisConfig,
+    parent_pid: int,
+    trace_enabled: bool,
+    run_id: Optional[str],
+) -> None:
+    global _FE_STATE
+    _FE_STATE = _FrontendState(program, config, parent_pid)
+    _FE_STATE.reset_obs(trace_enabled, run_id)
+
+
+#: One routine's shippable front-end artifacts: (local sets, §3.4 mask).
+FrontendArtifacts = Dict[str, Tuple[List[LocalSets], int]]
+
+
+def _build_frontend_chunk(
+    names: List[str],
+) -> Tuple[
+    Dict[str, ControlFlowGraph],
+    FrontendArtifacts,
+    Dict[str, float],
+    ObsPayload,
+]:
+    """Build one chunk's CFGs, local sets and saved/restored masks.
+
+    Runs in a front-end pool worker (the program arrived via fork at
+    pool start); returns everything the parent needs to assemble the
+    whole-program front end, with per-stage seconds for attribution.
+    """
+    state = _FE_STATE
+    assert state is not None, "front-end worker used before initialization"
+    program = state.program
+    config = state.config
+    seconds: Dict[str, float] = {}
+    with span("frontend.chunk", routines=len(names)):
+        start = time.perf_counter()
+        cfgs = {
+            name: build_cfg(program, program.routine(name)) for name in names
+        }
+        seconds["cfg_build"] = time.perf_counter() - start
+        start = time.perf_counter()
+        artifacts: FrontendArtifacts = {}
+        for name, cfg in cfgs.items():
+            saved = (
+                saved_restored_registers(cfg, config.convention)
+                if config.callee_saved_filtering
+                else 0
+            )
+            artifacts[name] = (compute_local_sets(cfg), saved)
+        seconds["initialization"] = time.perf_counter() - start
+    REGISTRY.inc("frontend.routines", len(names))
+    REGISTRY.inc("frontend.chunks")
+    return cfgs, artifacts, seconds, _drain_obs(state)
+
+
+def _drain_obs(state: _ProcessState) -> ObsPayload:
     """The observability payload shipped back with each task result.
 
     In a subprocess: the spans and counters recorded since the last
@@ -192,10 +298,20 @@ def _absorb_obs(payload: ObsPayload) -> None:
 
 
 def _shard_partial(
-    state: _WorkerState, shard_index: int, seconds: Dict[str, float]
+    state: _WorkerState,
+    shard_index: int,
+    seconds: Dict[str, float],
+    fresh: Optional[FrontendArtifacts] = None,
 ) -> PartialPsg:
     """The shard's partial PSG (built once per worker), with the
-    initialization work (local sets, §3.4 masks) charged separately."""
+    initialization work (local sets, §3.4 masks) charged separately.
+
+    Artifacts already present on the worker (shipped via pool initargs
+    on cold runs, applied from a task payload, or computed by an
+    earlier task in this process) are reused; only the remainder is
+    computed, and recorded into ``fresh`` when given so the parent can
+    forward it to whichever worker solves this shard's next phase.
+    """
     partial = state.partials.get(shard_index)
     if partial is not None:
         return partial
@@ -210,6 +326,8 @@ def _shard_partial(
                 if state.config.callee_saved_filtering
                 else 0
             )
+            if fresh is not None:
+                fresh[name] = (state.local_sets[name], state.saved[name])
     seconds["initialization"] = (
         seconds.get("initialization", 0.0) + time.perf_counter() - start
     )
@@ -228,22 +346,32 @@ def _shard_partial(
 def _solve_shard_phase1(
     shard_index: int, pinned: Dict[str, Tuple[int, int, int]]
 ) -> Tuple[
-    int, Dict[str, Tuple[int, int, int]], Dict[str, float], int, ObsPayload
+    int,
+    Dict[str, Tuple[int, int, int]],
+    FrontendArtifacts,
+    Dict[str, float],
+    int,
+    ObsPayload,
 ]:
     """Solve one shard's phase 1 against pinned callee triples.
 
     ``pinned`` maps every callee outside the shard to its converged
     ``(may_use, may_def, must_def)`` triple; returns the same encoding
     for the shard's members (plain int tuples keep the pickled
-    messages small), plus the worker's observability payload.
+    messages small), the front-end artifacts this task had to compute
+    itself (empty on cold runs, where initargs prepopulate them — the
+    parent forwards them into the shard's phase-2 payload so a sibling
+    worker does not recompute the cone), plus the worker's
+    observability payload.
     """
     if _FAULT_HOOK is not None:
         _FAULT_HOOK("phase1", shard_index)
     state = _STATE
     assert state is not None, "worker used before initialization"
     seconds: Dict[str, float] = {}
+    fresh: FrontendArtifacts = {}
     with span("phase1.shard", shard=shard_index):
-        partial = _shard_partial(state, shard_index, seconds)
+        partial = _shard_partial(state, shard_index, seconds, fresh)
         fixed = {
             node_id: SummaryTriple(*pinned[callee])
             for callee, node_id in partial.external_entries.items()
@@ -261,7 +389,10 @@ def _solve_shard_phase1(
         for name in partial.members:
             triple = solution.entry_triple(partial.psg, name)
             triples[name] = (triple.may_use, triple.may_def, triple.must_def)
-    return shard_index, triples, seconds, solution.iterations, _drain_obs(state)
+    return (
+        shard_index, triples, fresh, seconds, solution.iterations,
+        _drain_obs(state),
+    )
 
 
 def _solve_shard_phase2(
@@ -269,18 +400,26 @@ def _solve_shard_phase2(
     triples: Dict[str, Tuple[int, int, int]],
     exit_seeds: Dict[str, int],
     externally_callable: Set[str],
+    artifacts: Optional[FrontendArtifacts] = None,
 ) -> Tuple[int, Dict[str, RoutineSummary], Dict[str, float], int, ObsPayload]:
     """Solve one shard's phase 2 and assemble its routine summaries.
 
     ``triples`` covers the shard's members *and* every callee they can
     reach (needed to label the call-return edges); ``exit_seeds`` maps
     member routines to the liveness their out-of-shard callers inject
-    at their RETURN exits.
+    at their RETURN exits; ``artifacts`` carries front-end artifacts a
+    sibling worker computed during phase 1, so this worker only
+    recomputes what nobody has yet.
     """
     if _FAULT_HOOK is not None:
         _FAULT_HOOK("phase2", shard_index)
     state = _STATE
     assert state is not None, "worker used before initialization"
+    if artifacts:
+        for name, (local, saved) in artifacts.items():
+            if name not in state.local_sets:
+                state.local_sets[name] = local
+                state.saved[name] = saved
     seconds: Dict[str, float] = {}
     shard_span = span("phase2.shard", shard=shard_index)
     shard_span.__enter__()
@@ -383,12 +522,17 @@ class _ShardScheduler:
         cfgs: Dict[str, ControlFlowGraph],
         config: AnalysisConfig,
         shard_routines: List[List[str]],
+        local_sets: Optional[Dict[str, List[LocalSets]]] = None,
+        saved: Optional[Dict[str, int]] = None,
     ) -> None:
         self.jobs = jobs
         self._pool: Optional[ProcessPoolExecutor] = None
         # Same initializer arguments either way: inline "workers" see
         # their own pid as the parent and leave the parent's obs state
-        # alone; forked workers reset theirs (see _init_worker).
+        # alone; forked workers reset theirs (see _init_worker).  When
+        # the parent already holds every routine's front-end artifacts
+        # (cold runs), they ride along and shard tasks recompute
+        # nothing; forked workers inherit them without pickling.
         initargs = (
             cfgs,
             config,
@@ -396,6 +540,8 @@ class _ShardScheduler:
             os.getpid(),
             obs_tracer.is_enabled(),
             current_run_id(),
+            local_sets,
+            saved,
         )
         if jobs <= 1:
             _init_worker(*initargs)
@@ -543,6 +689,10 @@ class _ShardEngine:
             for name, summary in self.cached_summaries.items()
         }
         self.fresh: Dict[str, RoutineSummary] = {}
+        #: Front-end artifacts phase-1 workers computed themselves,
+        #: forwarded into the same shard's phase-2 payload so a
+        #: different worker drawing that shard skips the recompute.
+        self.artifacts: FrontendArtifacts = {}
         self.shard_metrics: Dict[int, ShardMetrics] = {}
         self.phase1_iterations = 0
         self.phase2_iterations = 0
@@ -572,10 +722,11 @@ class _ShardEngine:
             return _solve_shard_phase1, (shard, pinned)
 
         def on_result(result) -> None:
-            shard, triples, seconds, iterations, obs_payload = result
+            shard, triples, artifacts, seconds, iterations, obs_payload = result
             _absorb_obs(obs_payload)
             REGISTRY.inc("shards.solved", phase="phase1")
             self.triples.update(triples)
+            self.artifacts.update(artifacts)
             record = self._shard_record(shard)
             for name, value in seconds.items():
                 record.merge_stage(name, value)
@@ -615,6 +766,7 @@ class _ShardEngine:
             members = self.plan.shards[shard].routines
             triples: Dict[str, Tuple[int, int, int]] = {}
             exit_seeds: Dict[str, int] = {}
+            artifacts: FrontendArtifacts = {}
             for name in members:
                 triples[name] = self.triples[name]
                 for callee in self.call_graph.callees_of(name):
@@ -626,8 +778,11 @@ class _ShardEngine:
                     seed |= self._live_after(caller, site)
                 if seed:
                     exit_seeds[name] = seed
+                known = self.artifacts.get(name)
+                if known is not None:
+                    artifacts[name] = known
             return _solve_shard_phase2, (
-                shard, triples, exit_seeds, externally_callable,
+                shard, triples, exit_seeds, externally_callable, artifacts,
             )
 
         def on_result(result) -> None:
@@ -700,6 +855,72 @@ def shard_cost_heuristic(cfgs: Dict[str, ControlFlowGraph]) -> Dict[str, int]:
     return {name: max(1, cfg.block_count) for name, cfg in cfgs.items()}
 
 
+def _parallel_frontend(
+    program: Program,
+    config: AnalysisConfig,
+    jobs: int,
+    metrics: ParallelMetrics,
+) -> Tuple[
+    Dict[str, ControlFlowGraph],
+    Dict[str, List[LocalSets]],
+    Dict[str, int],
+]:
+    """Fan per-routine CFG / local-set / saved-mask construction across
+    a transient worker pool.
+
+    The front-end pool exists only for this wave: it is created before
+    any CFG does (workers inherit just the program via fork) and torn
+    down before the solve pool starts, so the solve pool's fork snapshot
+    already contains every artifact — shard workers inherit the full
+    front end without a single pickled payload.  Results are
+    reassembled in program order, so downstream iteration (call graph,
+    partitioning, summary merge) is identical to the serial driver's.
+    """
+    chunks = frontend_chunks(program, jobs * FRONTEND_CHUNKS_PER_WORKER)
+    collected_cfgs: Dict[str, ControlFlowGraph] = {}
+    collected: FrontendArtifacts = {}
+    initargs = (
+        program,
+        config,
+        os.getpid(),
+        obs_tracer.is_enabled(),
+        current_run_id(),
+    )
+    _log.debug(
+        "parallel front end: %d routines in %d chunks, jobs=%d",
+        program.routine_count, len(chunks), jobs,
+    )
+    pool = ProcessPoolExecutor(
+        max_workers=jobs, initializer=_init_frontend, initargs=initargs
+    )
+    try:
+        futures = [
+            pool.submit(_build_frontend_chunk, chunk) for chunk in chunks
+        ]
+        for future in futures:
+            try:
+                cfgs, artifacts, seconds, obs_payload = future.result()
+            except Exception as error:
+                raise AnalysisError(
+                    f"parallel front-end build failed: {error!r}"
+                ) from error
+            _absorb_obs(obs_payload)
+            collected_cfgs.update(cfgs)
+            collected.update(artifacts)
+            for name, value in seconds.items():
+                metrics.frontend_seconds[name] = (
+                    metrics.frontend_seconds.get(name, 0.0) + value
+                )
+    finally:
+        pool.shutdown(wait=True, cancel_futures=True)
+    cfgs = {routine.name: collected_cfgs[routine.name] for routine in program}
+    local_sets = {
+        routine.name: collected[routine.name][0] for routine in program
+    }
+    saved = {routine.name: collected[routine.name][1] for routine in program}
+    return cfgs, local_sets, saved
+
+
 def analyze_parallel(
     program,
     config: Optional[AnalysisConfig] = None,
@@ -716,9 +937,23 @@ def analyze_parallel(
     jobs = resolve_jobs(jobs, config)
     metrics = ParallelMetrics(jobs=jobs, routines_total=program.routine_count)
 
-    with metrics.stage("cfg_build"):
-        cfgs = build_all_cfgs(program)
-        call_graph = build_call_graph(program, cfgs)
+    local_sets: Optional[Dict[str, List[LocalSets]]] = None
+    saved: Optional[Dict[str, int]] = None
+    if jobs > 1:
+        # Cold front end in parallel: CFGs, local sets and §3.4 masks
+        # fan out per routine; only the call graph (cheap, and needing
+        # every CFG) stays parent-side.
+        with metrics.stage("frontend"):
+            cfgs, local_sets, saved = _parallel_frontend(
+                program, config, jobs, metrics
+            )
+        with metrics.stage("cfg_build"):
+            call_graph = build_call_graph(program, cfgs)
+    else:
+        with metrics.stage("cfg_build"):
+            cfgs = build_all_cfgs(program)
+            call_graph = build_call_graph(program, cfgs)
+        REGISTRY.inc("frontend.routines", len(cfgs))
     with metrics.stage("partition"):
         condensation = call_graph.condensation()
         target = shards if shards is not None else jobs * SHARDS_PER_WORKER
@@ -732,7 +967,10 @@ def analyze_parallel(
     )
 
     shard_routines = [shard.routines for shard in plan.shards]
-    scheduler = _ShardScheduler(jobs, cfgs, config, shard_routines)
+    scheduler = _ShardScheduler(
+        jobs, cfgs, config, shard_routines,
+        local_sets=local_sets, saved=saved,
+    )
     try:
         engine = _ShardEngine(
             call_graph=call_graph,
@@ -861,6 +1099,7 @@ def analyze_incremental_parallel(
     with parallel_metrics.stage("cfg_build"):
         cfgs = build_all_cfgs(program)
         call_graph = build_call_graph(program, cfgs)
+    REGISTRY.inc("frontend.routines", len(cfgs))
 
     with parallel_metrics.stage("fingerprint"):
         fingerprints = {

@@ -55,6 +55,7 @@ SEEDED_KEYS: Tuple[MetricKey, ...] = (
     ("cache.miss", ()),
     ("cache.stale", ()),
     ("cache.write", ()),
+    ("frontend.routines", ()),
     ("solver.iterations", (("phase", "phase1"),)),
     ("solver.iterations", (("phase", "phase2"),)),
 )

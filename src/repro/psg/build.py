@@ -8,16 +8,24 @@ control-flow path exists between their locations that does not pass
 through another boundary, and each edge is labeled by running the
 Figure-6 equations over the CFG subgraph its paths cover.
 
-Two labeling strategies are provided:
+Three labeling strategies are provided (all produce bit-identical
+labels; the test suite asserts this):
 
 * ``per_edge_labeling=True`` — the paper's literal procedure: carve the
   subgraph ``forward(src) ∩ backward(dst)`` and solve it, once per
   edge;
-* ``per_edge_labeling=False`` (default) — solve once per *target* over
+* ``labeling="per-target"`` — solve once per *target* over
   ``backward(dst)`` and read the converged IN sets at each source's
   start blocks.  Because a backward solution at a block only depends on
-  blocks it reaches, the labels are identical (the test suite asserts
-  this); it is simply cheaper, which matters for a Python host.
+  blocks it reaches, the labels are identical; it is simply cheaper.
+* ``labeling="batched"`` (default) — build the boundary-cut region
+  structure once per routine (:class:`~repro.dataflow.equations.
+  BatchedLabeler`), topologically order its SCCs, and solve each
+  target's region in one successors-first sweep, falling back to a
+  worklist only inside components that actually contain a cycle.
+  Shared blocks reuse their last transfer result across overlapping
+  targets and labels are interned, which is what makes PSG build — the
+  dominant cold-analysis stage (Figure 13) — cheap on a Python host.
 """
 
 from __future__ import annotations
@@ -31,6 +39,7 @@ from repro.obs.tracer import span
 
 from repro.isa.calling_convention import CallingConvention, NT_ALPHA
 from repro.dataflow.equations import (
+    BatchedLabeler,
     SummaryTriple,
     label_from_starts,
     solve_summary_subgraph,
@@ -82,14 +91,24 @@ class PsgConfig:
     ``branch_nodes`` toggles §3.6 (the Table-4 ablation builds with it
     off); ``multiway_threshold`` is the minimum number of distinct
     successor blocks a multiway branch needs before it earns a branch
-    node; ``per_edge_labeling`` selects the paper-literal per-edge
-    subgraph solve.
+    node; ``labeling`` picks the flow-summary labeling strategy
+    (``"batched"`` or ``"per-target"``; see the module docstring);
+    ``per_edge_labeling`` selects the paper-literal per-edge subgraph
+    solve and overrides ``labeling`` when set.
     """
 
     branch_nodes: bool = True
     multiway_threshold: int = 2
     per_edge_labeling: bool = False
+    labeling: str = "batched"
     convention: CallingConvention = field(default_factory=lambda: NT_ALPHA)
+
+    def __post_init__(self) -> None:
+        if self.labeling not in ("batched", "per-target"):
+            raise ValueError(
+                f"unknown labeling strategy {self.labeling!r} "
+                f"(expected 'batched' or 'per-target')"
+            )
 
 
 def unknown_call_label(convention: CallingConvention) -> SummaryTriple:
@@ -290,12 +309,24 @@ def build_routine_psg(
     # Edges
     # ------------------------------------------------------------------
     edge_indices: List[int] = []
+    use_batched = not config.per_edge_labeling and config.labeling == "batched"
+    labeler: Optional[BatchedLabeler] = None
     backward_sets: List[Set[int]] = []
     reaches_some_target: Set[int] = set()
-    for _node_id, target_block in targets:
-        reach = backward_reachable(blocks, target_block, blocked)
-        backward_sets.append(reach)
-        reaches_some_target |= reach
+    if use_batched:
+        # The labeler's cut-predecessor DFS computes the same region as
+        # backward_reachable (blocked blocks have no outgoing cut arcs),
+        # reusing the structure built once per routine.
+        labeler = BatchedLabeler(blocks, local_sets, blocked)
+        for _node_id, target_block in targets:
+            reach = labeler.region(target_block)
+            backward_sets.append(reach)
+            reaches_some_target |= reach
+    else:
+        for _node_id, target_block in targets:
+            reach = backward_reachable(blocks, target_block, blocked)
+            backward_sets.append(reach)
+            reaches_some_target |= reach
 
     # Soundness check: every block reachable from a source must reach a
     # target, or its register uses would be lost (see PsgBuildError).
@@ -325,6 +356,17 @@ def build_routine_psg(
                     blocks, local_sets, subgraph, blocked
                 )
                 label = label_from_starts(solution, valid_starts)
+                edge_indices.append(len(flow_edges))
+                flow_edges.append(FlowEdge(src=src_node, dst=dst_node, label=label))
+    elif use_batched:
+        assert labeler is not None
+        for (dst_node, _target_block), bwd in zip(targets, backward_sets):
+            solution = labeler.solve(bwd)
+            for src_node, starts in sources:
+                valid_starts = [s for s in starts if s in bwd]
+                if not valid_starts:
+                    continue
+                label = labeler.label(solution, valid_starts)
                 edge_indices.append(len(flow_edges))
                 flow_edges.append(FlowEdge(src=src_node, dst=dst_node, label=label))
     else:

@@ -232,6 +232,11 @@ class ParallelMetrics:
     wall_seconds: Dict[str, float] = field(default_factory=dict)
     #: Shards whose cached answers were kept (warm runs only).
     shards_reused: int = 0
+    #: Worker-side busy seconds of the parallel front end, per
+    #: sub-stage ("cfg_build", "initialization"); empty when the front
+    #: end ran serially (jobs == 1, or a warm run).  The corresponding
+    #: parent wall clock is ``wall_seconds["frontend"]``.
+    frontend_seconds: Dict[str, float] = field(default_factory=dict)
 
     @contextmanager
     def stage(self, name: str) -> Iterator[None]:
@@ -275,6 +280,7 @@ class ParallelMetrics:
             "shards_reused": self.shards_reused,
             "routines_total": self.routines_total,
             "wall_seconds": dict(self.wall_seconds),
+            "frontend_seconds": dict(self.frontend_seconds),
             "total_wall_seconds": self.total_wall_seconds,
             "busy_seconds": self.busy_seconds,
             "utilization": self.utilization(),
@@ -305,7 +311,7 @@ class ParallelMetrics:
             f"worker busy time:   {self.busy_seconds:.3f} s",
             f"pool utilization:   {self.utilization():.1%}",
         ]
-        for name in ("cfg_build", "partition", "phase1", "phase2"):
+        for name in ("frontend", "cfg_build", "partition", "phase1", "phase2"):
             if name in self.wall_seconds:
                 lines.append(
                     f"  {name:<16}{self.wall_seconds[name]:.3f} s"

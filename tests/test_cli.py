@@ -42,6 +42,29 @@ class TestAnalyze:
         assert "call-used" in out
         assert "a0" in out
 
+    @pytest.mark.parametrize("labeling", ["batched", "per-target", "per-edge"])
+    def test_labeling_strategies_identical_summaries(
+        self, labeling, image_path, tmp_path, capsys, monkeypatch
+    ):
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        sidecar = str(tmp_path / f"{labeling}.sum")
+        assert main(
+            ["analyze", image_path, "--labeling", labeling,
+             "--save-summaries", sidecar]
+        ) == 0
+        baseline = str(tmp_path / "default.sum")
+        assert main(
+            ["analyze", image_path, "--save-summaries", baseline]
+        ) == 0
+        capsys.readouterr()
+        with open(sidecar, "rb") as handle:
+            with open(baseline, "rb") as expected:
+                assert handle.read() == expected.read()
+
+    def test_bad_labeling_rejected(self, image_path, capsys):
+        with pytest.raises(SystemExit):
+            main(["analyze", image_path, "--labeling", "bogus"])
+
 
 class TestDisasm:
     def test_listing(self, image_path, capsys):

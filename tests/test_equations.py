@@ -11,12 +11,15 @@ with the paper's abstract R1, R2, R3 mapped to t1, t2, t3.
 """
 
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.cfg.build import build_cfg
 from repro.cfg.cfg import TerminatorKind
 from repro.cfg.subgraph import backward_reachable, forward_reachable
 from repro.dataflow.equations import (
+    BatchedLabeler,
     SummaryTriple,
+    intern_triple,
     label_from_starts,
     solve_summary_subgraph,
 )
@@ -140,6 +143,105 @@ class TestMustDefOverLoops:
         solution = solve_summary_subgraph(cfg.blocks, sets, subgraph, set())
         label = solution[cfg.entry_index]
         assert "t2" in names(label.must_def)
+
+
+class _FakeBlock:
+    """Just enough of a BasicBlock for the subgraph/equations layer."""
+
+    __slots__ = ("successors", "predecessors")
+
+    def __init__(self):
+        self.successors = []
+        self.predecessors = []
+
+
+class _FakeLocal:
+    __slots__ = ("ubd_mask", "def_mask")
+
+    def __init__(self, ubd_mask, def_mask):
+        self.ubd_mask = ubd_mask
+        self.def_mask = def_mask
+
+
+@st.composite
+def cut_graphs(draw):
+    """An arbitrary digraph (cycles and self-loops included) with
+    random blocked blocks and random per-block UBD/DEF masks."""
+    n = draw(st.integers(min_value=1, max_value=8))
+    blocks = [_FakeBlock() for _ in range(n)]
+    for src in range(n):
+        for dst in draw(
+            st.sets(st.integers(min_value=0, max_value=n - 1), max_size=3)
+        ):
+            blocks[src].successors.append(dst)
+            blocks[dst].predecessors.append(src)
+    blocked = draw(
+        st.sets(st.integers(min_value=0, max_value=n - 1), max_size=n)
+    )
+    masks = st.integers(min_value=0, max_value=0xFF)
+    local_sets = [
+        _FakeLocal(draw(masks) << 2, draw(masks) << 2) for _ in range(n)
+    ]
+    target = draw(st.integers(min_value=0, max_value=n - 1))
+    return blocks, local_sets, blocked, target
+
+
+class TestBatchedEquivalence:
+    """The batched labeler must agree with the per-target solver on
+    arbitrary cut graphs — regions, converged triples, and labels."""
+
+    @settings(max_examples=200, deadline=None)
+    @given(cut_graphs())
+    def test_batched_matches_per_target(self, data):
+        blocks, local_sets, blocked, target = data
+        labeler = BatchedLabeler(blocks, local_sets, blocked)
+
+        region = labeler.region(target)
+        assert region == backward_reachable(blocks, target, blocked)
+
+        expected = solve_summary_subgraph(blocks, local_sets, region, blocked)
+        solution = labeler.solve(region)
+        assert set(solution) == set(expected)
+        for block, triple in expected.items():
+            assert solution[block] == (
+                triple.may_use, triple.may_def, triple.must_def
+            )
+
+        starts = sorted(region)[:2]
+        assert labeler.label(solution, starts) == label_from_starts(
+            expected, starts
+        )
+
+    @settings(max_examples=50, deadline=None)
+    @given(cut_graphs(), st.randoms(use_true_random=False))
+    def test_overlapping_regions_share_memo(self, data, rng):
+        """Solving every target in random order — regions overlap, so
+        the transfer memo is exercised — never changes any answer."""
+        blocks, local_sets, blocked, _target = data
+        labeler = BatchedLabeler(blocks, local_sets, blocked)
+        targets = list(range(len(blocks)))
+        rng.shuffle(targets)
+        for target in targets:
+            region = labeler.region(target)
+            expected = solve_summary_subgraph(
+                blocks, local_sets, region, blocked
+            )
+            solution = labeler.solve(region)
+            for block, triple in expected.items():
+                assert solution[block] == (
+                    triple.may_use, triple.may_def, triple.must_def
+                )
+
+
+class TestInternTriple:
+    def test_returns_canonical_instance(self):
+        a = intern_triple(0b1, 0b10, 0b10)
+        b = intern_triple(0b1, 0b10, 0b10)
+        assert a is b
+        assert a == SummaryTriple(may_use=0b1, may_def=0b10, must_def=0b10)
+
+    def test_distinct_masks_distinct_triples(self):
+        assert intern_triple(1, 0, 0) is not intern_triple(0, 1, 0)
 
 
 class TestSummaryTriple:

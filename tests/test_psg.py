@@ -1,8 +1,10 @@
 """Tests for PSG construction: nodes, edges, branch nodes, labeling modes."""
 
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.cfg.build import build_all_cfgs
+from repro.workloads.generator import GeneratorConfig, generate_benchmark
 from repro.dataflow.local import compute_program_local_sets
 from repro.program.asm import assemble
 from repro.program.disasm import disassemble_image
@@ -135,6 +137,23 @@ class TestBranchNodes:
         assert psg.routines["f"].branch_nodes == []
 
 
+def _flow_labels(psg):
+    return {(e.src, e.dst): e.label for e in psg.flow_edges}
+
+
+def _assert_three_way_equal(program, config_extra=None):
+    """Batched, per-target and per-edge labeling all agree, edge for
+    edge, on ``program``."""
+    extra = config_extra or {}
+    batched = build(program, PsgConfig(labeling="batched", **extra))
+    per_target = build(program, PsgConfig(labeling="per-target", **extra))
+    per_edge = build(program, PsgConfig(per_edge_labeling=True, **extra))
+    assert batched.node_count == per_target.node_count == per_edge.node_count
+    batched_labels = _flow_labels(batched)
+    assert batched_labels == _flow_labels(per_target)
+    assert batched_labels == _flow_labels(per_edge)
+
+
 class TestLabelingModes:
     def test_per_edge_equals_per_target(self, small_benchmark):
         """The paper-literal per-edge solve and the per-target solve must
@@ -142,13 +161,74 @@ class TestLabelingModes:
         fast = build(small_benchmark, PsgConfig(per_edge_labeling=False))
         slow = build(small_benchmark, PsgConfig(per_edge_labeling=True))
         assert fast.node_count == slow.node_count
-        fast_labels = {
-            (e.src, e.dst): e.label for e in fast.flow_edges
-        }
-        slow_labels = {
-            (e.src, e.dst): e.label for e in slow.flow_edges
-        }
-        assert fast_labels == slow_labels
+        assert _flow_labels(fast) == _flow_labels(slow)
+
+    def test_batched_is_the_default(self, small_benchmark):
+        assert PsgConfig().labeling == "batched"
+        assert _flow_labels(build(small_benchmark)) == _flow_labels(
+            build(small_benchmark, PsgConfig(labeling="per-target"))
+        )
+
+    def test_bad_labeling_rejected(self):
+        with pytest.raises(ValueError, match="labeling"):
+            PsgConfig(labeling="bogus")
+
+    #: Loops around call sites, a jump-table multiway branch, and an
+    #: unknown-target indirect call — every structural feature the
+    #: batched labeler special-cases — in one routine.
+    GNARLY_SOURCE = """
+        .routine main
+            li a0, 3
+            bsr ra, f
+            halt
+        .routine f
+            lda sp, -16(sp)
+            stq ra, 0(sp)
+        loop:
+            and  t0, #3, t1
+            li   t2, &T
+            sll  t1, #3, t1
+            addq t2, t1, t2
+            ldq  t2, 0(t2)
+            jmp  t2, [T]
+        c0: bsr ra, g
+            br next
+        c1: li   pv, &g
+            jsr  ra, (pv)
+            br next
+        c2: addq t3, t0, t3
+            bgt  t3, c0
+            br next
+        .jumptable T: c0, c1, c2
+        next:
+            subq t0, #1, t0
+            bgt  t0, loop
+            ldq  ra, 0(sp)
+            lda  sp, 16(sp)
+            ret  (ra)
+        .routine g
+            lda v0, 1(zero)
+            ret (ra)
+    """
+
+    def test_three_way_equivalence_gnarly_routine(self):
+        program = disassemble_image(assemble(self.GNARLY_SOURCE))
+        for extra in ({}, {"branch_nodes": False}):
+            _assert_three_way_equal(program, extra)
+
+    def test_three_way_equivalence_small_benchmark(self, small_benchmark):
+        _assert_three_way_equal(small_benchmark)
+
+    @settings(max_examples=6, deadline=None)
+    @given(
+        bench=st.sampled_from(["compress", "li", "perl"]),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    def test_three_way_equivalence_generated(self, bench, seed):
+        program, _shape = generate_benchmark(
+            bench, scale=0.05, config=GeneratorConfig(seed=seed)
+        )
+        _assert_three_way_equal(program)
 
 
 class TestDivergenceDetection:

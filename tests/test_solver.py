@@ -9,11 +9,8 @@ from repro.program.asm import assemble
 from repro.program.disasm import disassemble_image
 
 
-def union(states):
-    mask = 0
-    for state in states:
-        mask |= state
-    return mask
+def union(left, right):
+    return left | right
 
 
 class TestWorklistSolver:

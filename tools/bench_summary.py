@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Aggregate ``benchmarks/results/*.json`` into one ``BENCH_<pr>.json``.
+
+Usage::
+
+    python tools/bench_summary.py [--results-dir DIR] [--pr N] [--out FILE]
+
+Every benchmark session writes one machine-readable JSON per table into
+``benchmarks/results/`` (see ``benchmarks/conftest.py``); this tool
+folds them into a single top-level summary CI can upload and trend
+tooling can diff across PRs::
+
+    {
+      "pr": 5,
+      "benches": {
+        "<table stem>": {"seconds": <total (s)-column seconds>,
+                         "counters": {...obs registry snapshot...}},
+        ...
+      }
+    }
+
+Exits 1 when the results directory holds no readable result files —
+an empty summary usually means the bench job silently did nothing.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Any, Dict, List
+
+
+def summarize(results_dir: Path, pr: int) -> Dict[str, Any]:
+    benches: Dict[str, Any] = {}
+    for path in sorted(results_dir.glob("*.json")):
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as error:
+            print(f"skipping {path}: {error}", file=sys.stderr)
+            continue
+        stem = payload.get("bench", path.stem)
+        benches[stem] = {
+            "seconds": payload.get("seconds", 0.0),
+            "counters": payload.get("counters", {}),
+        }
+    return {"pr": pr, "benches": benches}
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--results-dir", type=Path, default=Path("benchmarks/results"),
+        metavar="DIR", help="directory of per-table result JSON files",
+    )
+    parser.add_argument(
+        "--pr", type=int, default=5, metavar="N",
+        help="PR number recorded in the summary (default: 5)",
+    )
+    parser.add_argument(
+        "--out", type=Path, default=None, metavar="FILE",
+        help="output path (default: BENCH_<pr>.json in the cwd)",
+    )
+    args = parser.parse_args(argv)
+    summary = summarize(args.results_dir, args.pr)
+    if not summary["benches"]:
+        print(
+            f"no benchmark results found in {args.results_dir}",
+            file=sys.stderr,
+        )
+        return 1
+    out = args.out or Path(f"BENCH_{args.pr}.json")
+    out.write_text(
+        json.dumps(summary, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    print(f"wrote {out}: {len(summary['benches'])} benches")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -3,7 +3,8 @@
 
 Usage::
 
-    python tools/validate_trace.py trace.json [--min-pids N] [--stats stats.json]
+    python tools/validate_trace.py trace.json [--min-pids N] \
+        [--require-span NAME]... [--stats stats.json]
 
 Checks the file is a well-formed Chrome trace-event document:
 
@@ -12,7 +13,11 @@ Checks the file is a well-formed Chrome trace-event document:
 * at least ``--min-pids`` distinct pids contributed duration events
   (``--min-pids 3`` on a ``--jobs 2`` run asserts spans were merged
   from two real worker processes plus the parent);
-* every pid has a ``process_name`` metadata event.
+* every pid has a ``process_name`` metadata event;
+* every ``--require-span NAME`` (repeatable) matches at least one
+  ``X`` event — e.g. ``--require-span frontend --require-span
+  frontend.chunk`` proves the parallel front end actually ran and its
+  worker spans were merged back.
 
 With ``--stats``, also validates the ``--json`` stats payload captured
 from the same run: the ``counters`` object must carry the seeded cache
@@ -34,7 +39,11 @@ def fail(message: str) -> "None":
     raise SystemExit(1)
 
 
-def validate_trace(document: Dict[str, Any], min_pids: int) -> None:
+def validate_trace(
+    document: Dict[str, Any],
+    min_pids: int,
+    require_spans: List[str] | None = None,
+) -> None:
     if not isinstance(document, dict) or "traceEvents" not in document:
         fail("top level must be an object with a traceEvents list")
     events = document["traceEvents"]
@@ -42,6 +51,7 @@ def validate_trace(document: Dict[str, Any], min_pids: int) -> None:
         fail("traceEvents must be a non-empty list")
     duration_pids = set()
     named_pids = set()
+    span_names = set()
     for index, event in enumerate(events):
         if not isinstance(event, dict):
             fail(f"event {index} is not an object")
@@ -59,8 +69,14 @@ def validate_trace(document: Dict[str, Any], min_pids: int) -> None:
                 if not isinstance(value, (int, float)) or value < 0:
                     fail(f"X event {index} has bad {field}: {value!r}")
             duration_pids.add(event["pid"])
+            span_names.add(event["name"])
         elif event.get("name") == "process_name":
             named_pids.add(event["pid"])
+    missing = [
+        name for name in (require_spans or []) if name not in span_names
+    ]
+    if missing:
+        fail(f"required spans absent from the trace: {missing}")
     if len(duration_pids) < min_pids:
         fail(
             f"expected duration events from >= {min_pids} processes, "
@@ -80,6 +96,7 @@ REQUIRED_COUNTERS = [
     "cache.miss",
     "cache.stale",
     "cache.write",
+    "frontend.routines",
     "solver.iterations{phase=phase1}",
     "solver.iterations{phase=phase2}",
 ]
@@ -106,12 +123,17 @@ def main(argv: List[str] | None = None) -> int:
         help="require duration events from at least N distinct processes",
     )
     parser.add_argument(
+        "--require-span", dest="require_spans", action="append",
+        default=[], metavar="NAME",
+        help="require an X event with this name (repeatable)",
+    )
+    parser.add_argument(
         "--stats", metavar="FILE", default=None,
         help="also validate a --json stats payload from the same run",
     )
     args = parser.parse_args(argv)
     with open(args.trace, "r", encoding="utf-8") as handle:
-        validate_trace(json.load(handle), args.min_pids)
+        validate_trace(json.load(handle), args.min_pids, args.require_spans)
     if args.stats:
         with open(args.stats, "r", encoding="utf-8") as handle:
             validate_stats(json.load(handle))
