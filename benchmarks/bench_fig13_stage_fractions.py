@@ -26,6 +26,9 @@ HEADERS = (
     "Phase 1 %",
     "Phase 2 %",
     "CFG+Init %",
+    # Absolute wall time alongside the fractions: without a "(s)"
+    # column the session summary recorded this table's time as 0.0.
+    "Total (s)",
 )
 
 
@@ -48,6 +51,7 @@ def test_fig13_row(benchmark, name):
             100 * fractions["phase1"],
             100 * fractions["phase2"],
             100 * (fractions["cfg_build"] + fractions["initialization"]),
+            analysis.timings.total,
         ),
     )
     assert abs(sum(fractions.values()) - 1.0) < 1e-9

@@ -178,7 +178,10 @@ def _cmd_analyze_incremental(
         )
         with open(args.save_summaries, "wb") as handle:
             handle.write(blob)
-        print(f"wrote summaries to {args.save_summaries}")
+        print(
+            f"wrote summaries to {args.save_summaries}",
+            file=sys.stderr if args.json else sys.stdout,
+        )
     try:
         with open(cache_path, "wb") as handle:
             handle.write(dump_cache(incremental.cache))
@@ -188,22 +191,30 @@ def _cmd_analyze_incremental(
             file=sys.stderr,
         )
         return EXIT_CACHE_IO
-    print(f"wrote cache to {cache_path}")
+    print(
+        f"wrote cache to {cache_path}",
+        file=sys.stderr if args.json else sys.stdout,
+    )
     # After the cache write so the cache.dump span lands in the trace.
     return _finish_trace(args)
 
 
-def _labeling_config(labeling: Optional[str]) -> Optional[AnalysisConfig]:
-    """Map the ``--labeling`` choice to an analysis config (None = default)."""
-    if labeling is None:
+def _analysis_config(
+    labeling: Optional[str], solver_core: Optional[str] = None
+) -> Optional[AnalysisConfig]:
+    """Map the ``--labeling`` / ``--solver-core`` choices to an analysis
+    config (None = all defaults, so env-variable resolution applies)."""
+    if labeling is None and solver_core is None:
         return None
     from repro.psg.build import PsgConfig
 
-    if labeling == "per-edge":
+    if labeling is None:
+        psg = PsgConfig()
+    elif labeling == "per-edge":
         psg = PsgConfig(per_edge_labeling=True)
     else:
         psg = PsgConfig(labeling=labeling)
-    return AnalysisConfig(psg=psg)
+    return AnalysisConfig(psg=psg, solver_core=solver_core)
 
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
@@ -213,7 +224,7 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         with open(args.image, "rb") as handle:
             image_bytes = handle.read()
         session = AnalysisSession.from_image_bytes(
-            image_bytes, _labeling_config(args.labeling)
+            image_bytes, _analysis_config(args.labeling, args.solver_core)
         )
     except (OSError, ImageFormatError) as error:
         print(f"cannot load image {args.image}: {error}", file=sys.stderr)
@@ -275,7 +286,11 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         )
         with open(args.save_summaries, "wb") as handle:
             handle.write(blob)
-        print(f"wrote summaries to {args.save_summaries}")
+        # Keep --json stdout parseable, as with the trace note above.
+        print(
+            f"wrote summaries to {args.save_summaries}",
+            file=sys.stderr if args.json else sys.stdout,
+        )
     if args.dot:
         with open(args.dot, "w", encoding="utf-8") as handle:
             handle.write(psg_to_dot(analysis.psg, routine=args.dot_routine))
@@ -497,6 +512,16 @@ def build_parser() -> argparse.ArgumentParser:
             "region pass per routine), per-target (one worklist solve "
             "per PSG target), or per-edge (the paper's literal Figure-6 "
             "formulation; slowest).  All three produce identical labels"
+        ),
+    )
+    analyze.add_argument(
+        "--solver-core", choices=["flat", "object", "fifo"],
+        default=None, metavar="CORE",
+        help=(
+            "two-phase solver core: flat (CSR-arena fast path), object "
+            "(object-graph engines; default), or fifo (legacy FIFO "
+            "scheduling, kept for bisects).  Summaries are bit-identical "
+            "for every choice (default: REPRO_SOLVER_CORE or object)"
         ),
     )
     analyze.add_argument(

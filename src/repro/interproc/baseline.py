@@ -23,7 +23,6 @@ baseline for the time/memory comparison that justifies the PSG.
 from __future__ import annotations
 
 import time
-from collections import deque
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
@@ -34,6 +33,7 @@ from repro.cfg.callgraph import build_call_graph
 from repro.cfg.cfg import ControlFlowGraph, ExitKind, TerminatorKind
 from repro.dataflow.local import compute_local_sets
 from repro.dataflow.regset import TRACKED_MASK, mask_of
+from repro.dataflow.solver import SubgraphWorklist
 from repro.psg.build import PsgConfig, unknown_call_label
 from repro.interproc.analysis import AnalysisConfig
 from repro.interproc.phase2 import conservative_exit_live_mask
@@ -362,13 +362,10 @@ def analyze_program_baseline(
 
 
 def _iterate(count: int, dependents: List[List[int]], transfer) -> None:
-    worklist = deque(range(count - 1, -1, -1))
-    queued = [True] * count
-    while worklist:
-        gid = worklist.popleft()
-        queued[gid] = False
-        if transfer(gid):
-            for dependent in dependents[gid]:
-                if not queued[dependent]:
-                    queued[dependent] = True
-                    worklist.append(dependent)
+    """One chaotic-iteration pass over the flat CFG, riding the shared
+    priority-worklist engine (reverse block order as the rank key, the
+    same seeding the deque version used)."""
+    worklist = SubgraphWorklist(
+        count, dependents, bytearray(count), range(count - 1, -1, -1)
+    )
+    worklist.run(transfer)

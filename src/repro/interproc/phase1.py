@@ -61,16 +61,24 @@ def record_solve(
     iterations: int,
     max_depth: int,
     counts: Optional[List[int]],
+    pushes: int = 0,
+    skipped: int = 0,
+    revisits: int = 0,
 ) -> None:
     """Push one solve's convergence numbers into the obs registry.
 
-    Shared by both phase engines.  ``counts`` (per-node visit counts)
-    is attributed to routines only when per-routine collection is on —
-    the mapping walk is O(nodes) and only ``spike-analyze report``
-    consumes it.
+    Shared by both phase engines and the flat core.  ``counts``
+    (per-node visit counts) is attributed to routines only when
+    per-routine collection is on — the mapping walk is O(nodes) and
+    only ``spike-analyze report`` consumes it.  ``pushes`` / ``skipped``
+    / ``revisits`` gauge the worklist scheduling (see
+    ``docs/observability.md``).
     """
     REGISTRY.inc("solver.iterations", iterations, phase=phase)
     REGISTRY.observe_max("solver.max_queue_depth", max_depth, phase=phase)
+    REGISTRY.inc("solver.pushes", pushes)
+    REGISTRY.inc("solver.skipped_inqueue", skipped)
+    REGISTRY.inc("solver.revisits", revisits, phase=phase)
     if counts is None:
         return
     per_routine: Dict[str, int] = {}
@@ -131,21 +139,38 @@ def run_phase1(
     preserved_mask: int,
     seed_order: Sequence[int],
     fixed_entries: Optional[Dict[int, SummaryTriple]] = None,
+    core: Optional[str] = None,
 ) -> Phase1Result:
     """Run phase 1 over ``psg``.
 
     ``saved_restored[name]`` is the §3.4 filter mask per routine;
     ``preserved_mask`` covers the stack/global pointers; ``seed_order``
-    is the initial worklist order (callee-first routine order converges
-    fastest).  On return, every resolved call-return edge's ``label``
-    holds the callee's final filtered entry sets.
+    is the worklist priority order (callee-first routine order
+    converges fastest).  On return, every resolved call-return edge's
+    ``label`` holds the callee's final filtered entry sets.
 
     ``fixed_entries`` pins boundary values: node id -> the already-
     converged (MAY-USE, MAY-DEF, MUST-DEF) triple of a routine solved
     in an earlier run.  Pinned nodes behave like exit nodes — their
     values are never recomputed — which is how the incremental engine
     stitches cached callee summaries into a partial PSG.
+
+    ``core`` selects the solver data layout/scheduling (``flat`` /
+    ``object`` / ``fifo``, default via ``REPRO_SOLVER_CORE``); every
+    core converges to bit-identical results (see
+    :mod:`repro.interproc.flatcore`).
     """
+    # Imported lazily to break the phase1 <-> flatcore cycle (flatcore
+    # reuses Phase1Result and record_solve).
+    from repro.interproc import flatcore
+
+    core = flatcore.resolve_solver_core(core)
+    if core == "flat":
+        return flatcore.run_phase1_flat(
+            psg, saved_restored, preserved_mask, seed_order,
+            fixed_entries=fixed_entries,
+        )
+    worklist_order = "fifo" if core == "fifo" else "priority"
     node_count = len(psg.nodes)
     nodes = psg.nodes
     may_def = [0] * node_count
@@ -225,7 +250,9 @@ def run_phase1(
         return changed
 
     visit_counts = [0] * node_count if REGISTRY.per_routine else None
-    defs_worklist = SubgraphWorklist(node_count, dependents, is_exit, seed_order)
+    defs_worklist = SubgraphWorklist(
+        node_count, dependents, is_exit, seed_order, order=worklist_order
+    )
     iterations = defs_worklist.run(defs_transfer, visit_counts)
 
     # ------------------------------------------------------------------
@@ -258,7 +285,9 @@ def run_phase1(
         may_use[node_id] = mu_acc
         return changed
 
-    uses_worklist = SubgraphWorklist(node_count, dependents, is_exit, seed_order)
+    uses_worklist = SubgraphWorklist(
+        node_count, dependents, is_exit, seed_order, order=worklist_order
+    )
     iterations += uses_worklist.run(uses_transfer, visit_counts)
     record_solve(
         psg,
@@ -266,26 +295,16 @@ def run_phase1(
         iterations,
         max(defs_worklist.max_depth, uses_worklist.max_depth),
         visit_counts,
+        pushes=defs_worklist.pushes + uses_worklist.pushes,
+        skipped=defs_worklist.skipped + uses_worklist.skipped,
+        revisits=defs_worklist.revisits + uses_worklist.revisits,
     )
 
     # Persist the final labels on the resolved call-return edges; phase 2
     # re-reads them ("retained for the second dataflow phase").
-    for edge in cr_edges:
-        if edge.is_unknown:
-            continue
-        label_mu = 0
-        label_md = 0
-        label_xd = -1
-        for callee in edge.callees:
-            entry = entry_of[callee]
-            label_mu |= may_use[entry]
-            label_md |= may_def[entry]
-            label_xd &= must_def[entry]
-        edge.label = SummaryTriple(
-            may_use=label_mu,
-            may_def=label_md,
-            must_def=label_xd & TRACKED_MASK,
-        )
+    flatcore.label_call_return_edges(
+        psg, entry_of, may_use, may_def, must_def
+    )
 
     return Phase1Result(
         may_use=may_use,

@@ -70,6 +70,7 @@ def run_phase2(
     convention: CallingConvention,
     seed_order: Sequence[int],
     extra_exit_live: Optional[Dict[int, int]] = None,
+    core: Optional[str] = None,
 ) -> Phase2Result:
     """Run phase 2 over a PSG whose call-return edges are labeled.
 
@@ -79,7 +80,24 @@ def run_phase2(
     live-after masks of *callers outside the partial PSG*: their
     return-point liveness must still reach the exits of the routines
     being re-solved, even though the callers themselves are not.
+
+    ``core`` selects the solver data layout/scheduling (``flat`` /
+    ``object`` / ``fifo``); every core converges to bit-identical
+    results (see :mod:`repro.interproc.flatcore`).
     """
+    # Imported lazily to break the phase2 <-> flatcore cycle.
+    from repro.interproc import flatcore
+
+    core = flatcore.resolve_solver_core(core)
+    if core == "flat":
+        return flatcore.run_phase2_flat(
+            psg,
+            externally_callable,
+            conservative_exit_live_mask(convention),
+            seed_order,
+            extra_exit_live=extra_exit_live,
+        )
+    worklist_order = "fifo" if core == "fifo" else "priority"
     node_count = len(psg.nodes)
     nodes = psg.nodes
     may_use = [0] * node_count
@@ -118,7 +136,9 @@ def run_phase2(
     flow_edges = psg.flow_edges
     cr_edges = psg.call_return_edges
 
-    worklist = SubgraphWorklist(node_count, dependents, is_exit, seed_order)
+    worklist = SubgraphWorklist(
+        node_count, dependents, is_exit, seed_order, order=worklist_order
+    )
 
     def transfer(node_id: int) -> bool:
         mu_acc = 0
@@ -147,5 +167,9 @@ def run_phase2(
 
     visit_counts = [0] * node_count if REGISTRY.per_routine else None
     iterations = worklist.run(transfer, visit_counts)
-    record_solve(psg, "phase2", iterations, worklist.max_depth, visit_counts)
+    record_solve(
+        psg, "phase2", iterations, worklist.max_depth, visit_counts,
+        pushes=worklist.pushes, skipped=worklist.skipped,
+        revisits=worklist.revisits,
+    )
     return Phase2Result(may_use=may_use, iterations=iterations)

@@ -13,6 +13,15 @@ Counter inventory (see ``docs/observability.md`` for semantics):
 =============================== =====================================
 ``solver.iterations{phase=}``    worklist node visits per solve phase
 ``solver.max_queue_depth{phase=}`` deepest worklist (max-merged)
+``solver.pushes``                nodes scheduled onto a worklist
+                                 (initial seeds included)
+``solver.skipped_inqueue``       enqueues suppressed by the in-queue
+                                 bitmap (duplicate-push savings;
+                                 frozen boundary nodes are marked
+                                 permanently in-queue, so their
+                                 suppressions count here too)
+``solver.revisits{phase=}``      visits of a node already visited in
+                                 the same solve (ordering quality)
 ``solver.routine_iterations{phase=,routine=}``
                                  per-routine visit attribution; only
                                  recorded while :attr:`per_routine`
@@ -58,6 +67,10 @@ SEEDED_KEYS: Tuple[MetricKey, ...] = (
     ("frontend.routines", ()),
     ("solver.iterations", (("phase", "phase1"),)),
     ("solver.iterations", (("phase", "phase2"),)),
+    ("solver.pushes", ()),
+    ("solver.revisits", (("phase", "phase1"),)),
+    ("solver.revisits", (("phase", "phase2"),)),
+    ("solver.skipped_inqueue", ()),
 )
 
 

@@ -193,13 +193,28 @@ class TestJsonFlag:
     def test_incremental_payload(self, image_path, capsys):
         args = ["analyze", image_path, "--incremental", "--json"]
         assert main(args) == 0
-        cold = json.loads(capsys.readouterr().out.split("wrote cache")[0])
+        captured = capsys.readouterr()
+        # The cache-write note must not pollute the JSON stdout.
+        assert "wrote cache" in captured.err
+        cold = json.loads(captured.out)
         assert cold["kind"] == "incremental"
         assert cold["mode"] == "cold"
         assert main(args) == 0
-        warm = json.loads(capsys.readouterr().out.split("wrote cache")[0])
+        warm = json.loads(capsys.readouterr().out)
         assert warm["mode"] == "warm"
         assert warm["phase2_solved"] == 0
+
+    def test_save_summaries_keeps_json_stdout_parseable(
+        self, image_path, tmp_path, capsys
+    ):
+        out = tmp_path / "a.sum"
+        args = ["analyze", image_path, "--json", "--save-summaries", str(out)]
+        assert main(args) == 0
+        captured = capsys.readouterr()
+        assert "wrote summaries" in captured.err
+        payload = json.loads(captured.out)
+        assert payload["kind"] == "serial"
+        assert out.read_bytes().startswith(b"SUM")
 
 
 class TestExitCodes:

@@ -147,3 +147,215 @@ class TestReachability:
             for target in range(cfg.block_count):
                 bwd = backward_reachable(cfg.blocks, target, blocked)
                 assert (target in fwd) == (start in bwd)
+
+
+# ----------------------------------------------------------------------
+# Cross-core equivalence on random monotone systems
+# ----------------------------------------------------------------------
+
+from collections import deque
+
+from hypothesis import given, settings, strategies as st
+
+from repro.dataflow.solver import SubgraphWorklist
+from repro.interproc.flatcore import solve_masks_csr
+
+
+def _fifo_reference(node_count, edges, gen, kill, boundary):
+    """Deliberately naive FIFO chaotic iteration — the semantic anchor
+    the scheduled engines are pinned against."""
+    successors = [[] for _ in range(node_count)]
+    predecessors = [[] for _ in range(node_count)]
+    for src, dst in edges:
+        successors[src].append(dst)
+        predecessors[dst].append(src)
+    states = [0] * node_count
+    queue = deque(range(node_count))
+    queued = [True] * node_count
+    while queue:
+        node = queue.popleft()
+        queued[node] = False
+        if successors[node]:
+            out = 0
+            for succ in successors[node]:
+                out |= states[succ]
+        else:
+            out = boundary
+        new = gen[node] | (out & ~kill[node])
+        if new != states[node]:
+            states[node] = new
+            for pred in predecessors[node]:
+                if not queued[pred]:
+                    queued[pred] = True
+                    queue.append(pred)
+    return states
+
+
+@st.composite
+def _mask_problems(draw):
+    node_count = draw(st.integers(min_value=1, max_value=10))
+    node = st.integers(min_value=0, max_value=node_count - 1)
+    edges = draw(
+        st.lists(st.tuples(node, node), max_size=25, unique=True)
+    )
+    mask = st.integers(min_value=0, max_value=(1 << 16) - 1)
+    gen = draw(st.lists(mask, min_size=node_count, max_size=node_count))
+    kill = draw(st.lists(mask, min_size=node_count, max_size=node_count))
+    boundary = draw(mask)
+    order = draw(st.permutations(range(node_count)))
+    return node_count, edges, gen, kill, boundary, list(order)
+
+
+class TestCoreEquivalence:
+    """Any chaotic iteration of a monotone system reaches the same
+    (unique extremal) fixed point, whatever the visit order — so the
+    priority object engine, the flat CSR core, and a naive FIFO sweep
+    must agree bit for bit on arbitrary problems."""
+
+    @given(_mask_problems())
+    @settings(max_examples=80, deadline=None)
+    def test_three_engines_agree(self, problem):
+        node_count, edges, gen, kill, boundary, order = problem
+
+        solver = WorklistSolver(node_count, edges)
+        priority = solver.solve(
+            lambda node, out: gen[node] | (out & ~kill[node]),
+            union,
+            boundary,
+            0,
+            order=order,
+        )
+        fifo = _fifo_reference(node_count, edges, gen, kill, boundary)
+        flat = solve_masks_csr(
+            node_count, edges, gen, kill, boundary, order=order
+        )
+        assert priority == fifo
+        assert priority == flat
+
+    @given(_mask_problems())
+    @settings(max_examples=40, deadline=None)
+    def test_order_is_irrelevant_to_the_fixed_point(self, problem):
+        node_count, edges, gen, kill, boundary, order = problem
+        forward = solve_masks_csr(
+            node_count, edges, gen, kill, boundary, order=order
+        )
+        backward = solve_masks_csr(
+            node_count, edges, gen, kill, boundary, order=order[::-1]
+        )
+        assert forward == backward
+
+
+# ----------------------------------------------------------------------
+# SubgraphWorklist scheduling and statistics
+# ----------------------------------------------------------------------
+
+
+class TestSubgraphWorklist:
+    def _solve_chain(self, order_mode, seed_order=None):
+        """0 <- 1 <- 2 <- 3 supplier chain: node 0 generates a bit that
+        must propagate to node 3 (dependents point downstream)."""
+        node_count = 4
+        suppliers = [[], [0], [1], [2]]
+        dependents = [[1], [2], [3], []]
+        values = [0b1, 0, 0, 0]
+        visits = []
+
+        def transfer(node):
+            new = values[node]
+            for supplier in suppliers[node]:
+                new |= values[supplier]
+            visits.append(node)
+            if new != values[node]:
+                values[node] = new
+                return True
+            return False
+
+        worklist = SubgraphWorklist(
+            node_count,
+            dependents,
+            [False] * node_count,
+            seed_order if seed_order is not None else list(range(node_count)),
+            order=order_mode,
+        )
+        total = worklist.run(transfer)
+        return values, visits, total, worklist
+
+    def test_priority_and_fifo_fixed_points_agree(self):
+        priority_values, _, _, _ = self._solve_chain("priority")
+        fifo_values, _, _, _ = self._solve_chain("fifo")
+        assert priority_values == fifo_values == [0b1] * 4
+
+    def test_priority_follows_seed_ranks(self):
+        # Seeded supplier-first, the chain settles in one sweep: four
+        # visits, no revisits.
+        _, visits, total, worklist = self._solve_chain(
+            "priority", seed_order=[0, 1, 2, 3]
+        )
+        assert visits == [0, 1, 2, 3]
+        assert total == 4
+        assert worklist.revisits == 0
+        assert worklist.pushes == 4
+
+    def test_bad_seed_order_costs_revisits(self):
+        # Seeded consumer-first, every node is visited before its
+        # supplier has settled, so the change ripples as revisits —
+        # the exact effect ``solver.revisits`` gauges.
+        _, _, total, worklist = self._solve_chain(
+            "priority", seed_order=[3, 2, 1, 0]
+        )
+        assert total > 4
+        assert worklist.revisits == total - 4
+        assert worklist.pushes == total
+
+    def test_frozen_nodes_are_never_visited_and_skip_counted(self):
+        values = [0b1, 0, 0b100]
+        visited = []
+
+        def transfer(node):
+            visited.append(node)
+            if values[node] != values[0] | values[node]:
+                values[node] |= values[0]
+                return True
+            return False
+
+        # Node 2 is frozen: its enqueue attempts are suppressed by the
+        # permanently-set in-queue bit and counted as skips.
+        worklist = SubgraphWorklist(
+            3, [[1, 2], [2], []], [False, False, True], [0, 1]
+        )
+        worklist.run(transfer)
+        assert 2 not in visited
+        assert values[2] == 0b100
+        assert worklist.skipped >= 1
+
+    def test_enqueue_deduplicates(self):
+        worklist = SubgraphWorklist(2, [[], []], [False, False], [0, 1])
+        baseline = worklist.pushes
+        worklist.enqueue(0)  # already queued from seeding
+        assert worklist.pushes == baseline
+        assert worklist.skipped == 1
+
+    def test_counts_accumulate_per_node(self):
+        counts = [0] * 4
+        values = [0b1, 0, 0, 0]
+        suppliers = [[], [0], [1], [2]]
+
+        def transfer(node):
+            new = values[node]
+            for supplier in suppliers[node]:
+                new |= values[supplier]
+            if new != values[node]:
+                values[node] = new
+                return True
+            return False
+
+        worklist = SubgraphWorklist(
+            4, [[1], [2], [3], []], [False] * 4, [0, 1, 2, 3]
+        )
+        total = worklist.run(transfer, counts=counts)
+        assert sum(counts) == total
+        assert all(count >= 1 for count in counts)
+
+    def test_unknown_order_rejected(self):
+        with pytest.raises(ValueError):
+            SubgraphWorklist(1, [[]], [False], [0], order="lifo")

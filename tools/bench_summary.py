@@ -11,7 +11,7 @@ folds them into a single top-level summary CI can upload and trend
 tooling can diff across PRs::
 
     {
-      "pr": 5,
+      "pr": 6,
       "benches": {
         "<table stem>": {"seconds": <total (s)-column seconds>,
                          "counters": {...obs registry snapshot...}},
@@ -32,6 +32,20 @@ from pathlib import Path
 from typing import Any, Dict, List
 
 
+def _seconds_from_samples(payload: Dict[str, Any]) -> float:
+    """Fallback wall time: the sum of every numeric sample value under
+    a ``(s)``-suffixed key (the same rule the result writer applies to
+    table columns)."""
+    total = 0.0
+    for sample in payload.get("samples", ()):
+        if not isinstance(sample, dict):
+            continue
+        for key, value in sample.items():
+            if "(s)" in key and isinstance(value, (int, float)):
+                total += float(value)
+    return total
+
+
 def summarize(results_dir: Path, pr: int) -> Dict[str, Any]:
     benches: Dict[str, Any] = {}
     for path in sorted(results_dir.glob("*.json")):
@@ -41,8 +55,19 @@ def summarize(results_dir: Path, pr: int) -> Dict[str, Any]:
             print(f"skipping {path}: {error}", file=sys.stderr)
             continue
         stem = payload.get("bench", path.stem)
+        seconds = payload.get("seconds", 0.0)
+        if not seconds:
+            # A missing or zero total silently erased figure_13's wall
+            # time from past summaries (its table carried only percent
+            # columns): re-derive from the samples and say so loudly.
+            seconds = _seconds_from_samples(payload)
+            print(
+                f"WARNING: {path.name} reports no top-level seconds; "
+                f"derived {seconds:.6f}s from its samples",
+                file=sys.stderr,
+            )
         benches[stem] = {
-            "seconds": payload.get("seconds", 0.0),
+            "seconds": seconds,
             "counters": payload.get("counters", {}),
         }
     return {"pr": pr, "benches": benches}
@@ -55,8 +80,8 @@ def main(argv: List[str] | None = None) -> int:
         metavar="DIR", help="directory of per-table result JSON files",
     )
     parser.add_argument(
-        "--pr", type=int, default=5, metavar="N",
-        help="PR number recorded in the summary (default: 5)",
+        "--pr", type=int, default=6, metavar="N",
+        help="PR number recorded in the summary (default: 6)",
     )
     parser.add_argument(
         "--out", type=Path, default=None, metavar="FILE",
