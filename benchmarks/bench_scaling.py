@@ -11,9 +11,11 @@ bench scales the figure-13 gcc row (scale 0.25, ~10k PSG nodes) to
   with the collector disabled (GC pauses inside a phase otherwise add
   up to ±30% noise at these durations);
 * total solver iterations (the priority-vs-FIFO ordering win);
-* process peak RSS from ``resource.getrusage`` (factors run in
-  ascending order, so the high-water mark is attributable to the
-  largest graph analyzed so far).
+* process peak RSS from ``resource.getrusage``, normalized to MB
+  (``ru_maxrss`` is kibibytes on Linux but *bytes* on macOS; the
+  record carries the unit explicitly).  Factors run in ascending
+  order, so the high-water mark is attributable to the largest graph
+  analyzed so far.
 
 All cores solve the *same* built PSG — the pipeline runs once per
 factor and only the phases are re-timed, which is both faster and a
@@ -28,6 +30,7 @@ nodes than FIFO.
 import gc
 import os
 import resource
+import sys
 import time
 
 import pytest
@@ -63,7 +66,17 @@ HEADERS = (
     "Phase 1+2 (s)",
     "Iterations",
     "Peak RSS (MB)",
+    "RSS unit",
 )
+
+#: ``ru_maxrss`` has no portable unit: Linux reports kibibytes, macOS
+#: reports bytes (BSD heritage).  Normalize to MB at the source and
+#: carry the unit in the record so readers can trust the column.
+_RU_MAXRSS_PER_MB = 1024 * 1024 if sys.platform == "darwin" else 1024
+
+
+def _peak_rss_mb() -> float:
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / _RU_MAXRSS_PER_MB
 
 
 def _solve_phases(analysis, core, orders):
@@ -129,7 +142,7 @@ def test_scaling_point(factor):
         gc.enable()
 
     node_count = len(analysis.psg.nodes)
-    peak_rss_mb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024
+    peak_rss_mb = _peak_rss_mb()
     for core in CORES:
         record(
             "Scaling: solver cores at 10x/100x the figure-13 gcc row"
@@ -143,6 +156,7 @@ def test_scaling_point(factor):
                 best[core],
                 iterations[core],
                 round(peak_rss_mb, 1),
+                "MB",
             ),
         )
 

@@ -64,7 +64,12 @@ from repro.interproc.analysis import (
     InterproceduralAnalysis,
     _analyze_program,
 )
-from repro.interproc.errors import AnalysisError
+from repro.interproc.demand import QueryResult, query_routine
+from repro.interproc.errors import (
+    AnalysisError,
+    JobsConfigError,
+    UnknownRoutineError,
+)
 from repro.interproc.incremental import (
     IncrementalAnalysis,
     _analyze_incremental,
@@ -82,6 +87,9 @@ __all__ = [
     "AnalysisConfig",
     "AnalysisError",
     "AnalysisSession",
+    "JobsConfigError",
+    "QueryResult",
+    "UnknownRoutineError",
 ]
 
 _log = logging.getLogger(__name__)
@@ -104,8 +112,9 @@ def _jobs_from_env() -> Optional[int]:
     try:
         return int(raw)
     except ValueError:
-        raise AnalysisError(
-            f"{JOBS_ENV_VAR} must be an integer, got {raw!r}"
+        raise JobsConfigError(
+            f"{JOBS_ENV_VAR} must be an integer, got {raw!r} "
+            "(0 or negative means one worker per CPU)"
         ) from None
 
 
@@ -134,8 +143,16 @@ class AnalysisSession:
             InterproceduralAnalysis,
             ParallelAnalysis,
             IncrementalAnalysis,
+            QueryResult,
             None,
         ] = None
+        # The memoized cache the demand path threads between query()
+        # calls (when the caller does not manage one explicitly), plus
+        # the program's reusable front-end (CFGs, call graph,
+        # condensation — immutable for the session's program and the
+        # dominant warm-query cost).
+        self._query_cache: Optional[SummaryCache] = None
+        self._query_frontend = None
         # Counter scoping: metrics() reports the registry's delta since
         # session construction, so work done on behalf of this session
         # before analyze() — a CLI cache load, for instance — is
@@ -291,6 +308,55 @@ class AnalysisSession:
             self._fold_regset()
         return self._last
 
+    def query(
+        self, routine: str, *, cache: Optional[SummaryCache] = None
+    ) -> QueryResult:
+        """Answer live-at-entry/exit and call-used/defined/killed for
+        one routine on demand, solving only its dependency cones.
+
+        The answer is byte-identical to what :meth:`analyze` would
+        report for ``routine``, but only the SCC components the answer
+        can depend on — transitive callers, plus their callee closure
+        — are examined, and only the stale ones among those re-solve.
+
+        ``cache`` warm-starts the query from a ``SUM2``
+        :class:`SummaryCache`; when omitted, the session threads its
+        own memoized cache between calls, so repeated or overlapping
+        queries amortize toward a CFG build plus fingerprinting.  The
+        refreshed cache is returned on :attr:`QueryResult.cache` (and
+        retained on the session) for persisting.
+
+        Raises :class:`UnknownRoutineError` for a routine the program
+        does not contain.
+        """
+        # Queries solve serially, but resolve the worker config anyway
+        # so a malformed REPRO_JOBS fails here as cleanly as it does
+        # for analyze() (JobsConfigError -> CLI usage error).
+        self._resolve_jobs(None)
+        if cache is None:
+            cache = self._query_cache
+        self._begin_run("query", 1)
+        try:
+            with span("query", routine=routine, warm=cache is not None):
+                result = query_routine(
+                    self._program,
+                    routine,
+                    cache=cache,
+                    config=self._config,
+                    image_fingerprint=self.image_fingerprint,
+                    frontend=self._query_frontend,
+                )
+        except AnalysisError:
+            raise
+        except _ANALYSIS_FAILURES as error:
+            raise AnalysisError(str(error)) from error
+        finally:
+            self._fold_regset()
+        self._last = result
+        self._query_cache = result.cache
+        self._query_frontend = result.frontend
+        return result
+
     def optimize(
         self,
         passes: Optional[Sequence[str]] = None,
@@ -328,10 +394,18 @@ class AnalysisSession:
 
     def summaries(self) -> AnalysisResult:
         """Per-routine summaries of the most recent analysis (running a
-        serial :meth:`analyze` first if none has been run)."""
+        serial :meth:`analyze` first if none has been run).
+
+        After a :meth:`query` this is the memoized cache's view: the
+        queried cone is fresh, other routines carry whatever earlier
+        runs established (entries a query had to invalidate are
+        absent until something re-solves them).
+        """
         if self._last is None:
             self.analyze()
         assert self._last is not None
+        if isinstance(self._last, QueryResult):
+            return self._last.cache.result
         return self._last.result
 
     def summary(self, routine: str) -> RoutineSummary:
@@ -340,8 +414,9 @@ class AnalysisSession:
     def metrics(self) -> Dict[str, object]:
         """JSON-ready metrics of the most recent analysis.
 
-        Always includes ``kind`` (``"serial"``, ``"parallel"`` or
-        ``"incremental"``) and ``routines``; the remaining keys depend
+        Always includes ``kind`` (``"serial"``, ``"parallel"``,
+        ``"incremental"`` or ``"query"``) and ``routines``; the
+        remaining keys depend
         on the kind (stage timings for serial runs, shard/utilization
         records for parallel runs, solved/reused counts — plus a
         ``parallel`` sub-object when applicable — for incremental
@@ -366,6 +441,9 @@ class AnalysisSession:
             payload["psg_edges"] = last.psg.edge_count
         elif isinstance(last, ParallelAnalysis):
             payload["kind"] = "parallel"
+            payload.update(last.metrics.as_dict())
+        elif isinstance(last, QueryResult):
+            payload["kind"] = "query"
             payload.update(last.metrics.as_dict())
         else:
             payload["kind"] = "incremental"

@@ -13,6 +13,10 @@ Subcommands:
   image (see :mod:`repro.workloads`);
 * ``optimize <image> -o <image>`` — run the Figure-1 optimization
   pipeline and write the rewritten image;
+* ``query <image> <routine>`` — answer one routine's summary on
+  demand, solving only its caller/callee cones; reuses and refreshes
+  the same ``SUM2`` sidecar as ``analyze --incremental``, so repeated
+  queries amortize toward zero solver work;
 * ``report <image>`` — analyze with per-routine solver attribution on
   and print a convergence / hot-routine table;
 * ``run <image>`` — execute an image in the interpreter.
@@ -28,7 +32,8 @@ All analysis goes through :class:`repro.api.AnalysisSession`.  Exit
 codes are distinct per failure class so scripts can tell them apart:
 
 * 0 — success;
-* 2 — usage error (bad flags or flag combinations);
+* 2 — usage error (bad flags or flag combinations, a malformed
+  ``REPRO_JOBS`` value, or a query for an unknown routine);
 * 3 — the input image could not be read or parsed;
 * 4 — the analysis itself failed (:class:`AnalysisError`);
 * 5 — the analysis succeeded but a by-product (the cache sidecar or
@@ -44,7 +49,14 @@ import os
 import sys
 from typing import List, Optional
 
-from repro.api import AnalysisConfig, AnalysisError, AnalysisSession
+from repro.api import (
+    JOBS_ENV_VAR,
+    AnalysisConfig,
+    AnalysisError,
+    AnalysisSession,
+    JobsConfigError,
+    UnknownRoutineError,
+)
 from repro.dataflow.regset import RegisterSet
 from repro.obs import (
     REGISTRY,
@@ -242,7 +254,17 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
                 )
                 return EXIT_USAGE
             jobs = 1  # force serial even when REPRO_JOBS says otherwise
+            if os.environ.get(JOBS_ENV_VAR):
+                print(
+                    f"note: --annotate/--dot force a serial solve; "
+                    f"ignoring {JOBS_ENV_VAR}="
+                    f"{os.environ[JOBS_ENV_VAR]!r}",
+                    file=sys.stderr,
+                )
         analysis = session.analyze(jobs=jobs)
+    except JobsConfigError as error:
+        print(str(error), file=sys.stderr)
+        return EXIT_USAGE
     except AnalysisError as error:
         print(f"analysis failed: {error}", file=sys.stderr)
         return EXIT_ANALYSIS
@@ -346,6 +368,89 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
         handle.write(program_to_image(result.optimized).to_bytes())
     print(f"wrote {args.output}")
     return EXIT_OK
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    if args.trace:
+        enable_tracing()
+    try:
+        session = AnalysisSession.from_path(
+            args.image, _analysis_config(args.labeling, args.solver_core)
+        )
+    except (OSError, ImageFormatError) as error:
+        print(f"cannot load image {args.image}: {error}", file=sys.stderr)
+        return EXIT_BAD_IMAGE
+    cache_path = args.cache or args.image + ".sum2"
+    cache = None
+    cache_note = "cold (no cache file)"
+    if os.path.exists(cache_path):
+        try:
+            with open(cache_path, "rb") as handle:
+                cache = load_cache(handle.read())
+            cache_note = f"warm ({cache_path})"
+        except (SummaryFormatError, OSError) as error:
+            cache_note = f"cold (unreadable cache: {error})"
+    try:
+        result = session.query(args.routine, cache=cache)
+    except (JobsConfigError, UnknownRoutineError) as error:
+        print(str(error), file=sys.stderr)
+        return EXIT_USAGE
+    except AnalysisError as error:
+        print(f"query failed: {error}", file=sys.stderr)
+        return EXIT_ANALYSIS
+    summary = result.summary
+    metrics = result.metrics
+    if args.json:
+        payload = session.metrics()
+        payload["cache"] = cache_note
+        payload["summary"] = {
+            "routine": summary.name,
+            "call_used": sorted(summary.call_used.names()),
+            "call_defined": sorted(summary.call_defined.names()),
+            "call_killed": sorted(summary.call_killed.names()),
+            "live_at_entry": sorted(summary.live_at_entry.names()),
+            "live_at_exit": {
+                str(block): sorted(
+                    RegisterSet.from_mask(mask).names()
+                )
+                for block, mask in sorted(summary.exit_live_masks.items())
+            },
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(f"routine:       {summary.name}")
+        print(f"cache:         {cache_note}")
+        print(
+            f"cones:         phase1 {metrics.phase1_cone_routines} / "
+            f"phase2 {metrics.phase2_cone_routines} routines "
+            f"(of {session.program.routine_count})"
+        )
+        print(
+            f"reanalyzed:    {metrics.phase2_solved} routines  "
+            f"(reused {metrics.phase2_reused}, "
+            f"{len(metrics.dirty_routines)} dirty)"
+        )
+        _print_routine_summaries(
+            result.cache.result, [args.routine]
+        )
+        if args.stats:
+            print()
+            print(metrics.render())
+            _print_counters(session)
+    try:
+        with open(cache_path, "wb") as handle:
+            handle.write(dump_cache(result.cache))
+    except OSError as error:
+        print(
+            f"could not write cache to {cache_path}: {error}",
+            file=sys.stderr,
+        )
+        return EXIT_CACHE_IO
+    print(
+        f"wrote cache to {cache_path}",
+        file=sys.stderr if args.json else sys.stdout,
+    )
+    return _finish_trace(args)
 
 
 def _parse_labeled(rendered: str) -> dict:
@@ -590,6 +695,43 @@ def build_parser() -> argparse.ArgumentParser:
         help="execute before/after and compare observable behaviour",
     )
     optimize.set_defaults(func=_cmd_optimize)
+
+    query = sub.add_parser(
+        "query",
+        help="answer one routine's summary on demand (cone-scoped solve)",
+    )
+    query.add_argument("image")
+    query.add_argument("routine", help="routine name to query")
+    query.add_argument(
+        "--cache", metavar="FILE", default=None,
+        help=(
+            "SUM2 cache sidecar to warm-start from and refresh "
+            "(default: IMAGE.sum2; shared with analyze --incremental)"
+        ),
+    )
+    query.add_argument(
+        "--json", action="store_true",
+        help="print one machine-readable JSON object (summary + stats)",
+    )
+    query.add_argument(
+        "--labeling", choices=["batched", "per-target", "per-edge"],
+        default=None, metavar="STRATEGY",
+        help="flow-summary labeling strategy (see analyze --labeling)",
+    )
+    query.add_argument(
+        "--solver-core", choices=["flat", "object", "fifo"],
+        default=None, metavar="CORE",
+        help="two-phase solver core (see analyze --solver-core)",
+    )
+    query.add_argument(
+        "--stats", action="store_true",
+        help="print the query work metrics and obs counter block",
+    )
+    query.add_argument(
+        "--trace", metavar="FILE",
+        help="write a Chrome trace-event JSON of the query's spans",
+    )
+    query.set_defaults(func=_cmd_query)
 
     report = sub.add_parser(
         "report",

@@ -14,3 +14,22 @@ from __future__ import annotations
 
 class AnalysisError(RuntimeError):
     """An interprocedural analysis run could not be completed."""
+
+
+class JobsConfigError(AnalysisError):
+    """The worker-count configuration is unusable.
+
+    Raised when the ``REPRO_JOBS`` environment variable is not an
+    integer.  A subclass of :class:`AnalysisError` for API
+    compatibility, but the CLI maps it to the *usage* exit code (2):
+    the run never started, so "analysis failed" (4) would mislead.
+    """
+
+
+class UnknownRoutineError(AnalysisError):
+    """A demand query named a routine the program does not contain.
+
+    Also a usage error at the CLI (exit 2): the image parsed and the
+    analysis machinery is fine — the caller asked about a routine that
+    does not exist.
+    """

@@ -370,6 +370,8 @@ class _WarmEngine:
         cache: SummaryCache,
         dirty: Set[str],
         metrics: IncrementalMetrics,
+        phase1_scope: Optional[Set[int]] = None,
+        phase2_scope: Optional[Set[int]] = None,
     ) -> None:
         self.program = program
         self.config = config
@@ -378,8 +380,29 @@ class _WarmEngine:
         self.condensation = condensation
         self.cache = cache
         self.cached = cache.result.summaries
+        # Phase-1 triples available for reuse: derivable from every
+        # cached summary, plus the phase-1-only entries the demand
+        # engine memoizes (triples validated by a query whose phase-2
+        # liveness never was).
+        self.cached_triples: Dict[str, SummaryTriple] = {
+            name: _triple_of(summary)
+            for name, summary in self.cached.items()
+        }
+        self.cached_triples.update(cache.phase1_triples)
         self.dirty = dirty
         self.metrics = metrics
+        # Component scopes for demand-driven queries
+        # (:mod:`repro.interproc.demand`).  ``None`` means "every
+        # component" (the full warm run).  A scoped run only touches
+        # components inside the scope; skipped components contribute
+        # neither triples nor reuse counts.  Sound as long as
+        # ``phase1_scope`` is callee-closed and ``phase2_scope`` is
+        # caller-closed with its callee closure inside ``phase1_scope``
+        # — then every input a scoped solve consumes (external callee
+        # triples, caller exit seeds) comes from an in-scope component
+        # or the cache, exactly as in a full run.
+        self.phase1_scope = phase1_scope
+        self.phase2_scope = phase2_scope
         self.preserved = mask_of(
             {config.convention.stack_pointer, config.convention.global_pointer}
         )
@@ -436,7 +459,7 @@ class _WarmEngine:
 
     def _phase1_needed(self, members: Sequence[str], member_set: Set[str]) -> bool:
         for name in members:
-            if name in self.dirty or name not in self.cached:
+            if name in self.dirty or name not in self.cached_triples:
                 return True
             for callee in self.call_graph.callees_of(name):
                 if callee not in member_set and callee in self.changed1:
@@ -445,10 +468,12 @@ class _WarmEngine:
 
     def _run_phase1(self) -> None:
         for index, members in enumerate(self.condensation.components):
+            if self.phase1_scope is not None and index not in self.phase1_scope:
+                continue
             member_set = set(members)
             if not self._phase1_needed(members, member_set):
                 for name in members:
-                    self.triples[name] = _triple_of(self.cached[name])
+                    self.triples[name] = self.cached_triples[name]
                     self.metrics.phase1_reused += 1
                 continue
             partial = self._partial(index)
@@ -474,10 +499,7 @@ class _WarmEngine:
                 triple = solution.entry_triple(partial.psg, name)
                 self.triples[name] = triple
                 self.metrics.phase1_solved += 1
-                if (
-                    name not in self.cached
-                    or triple != _triple_of(self.cached[name])
-                ):
+                if triple != self.cached_triples.get(name):
                     self.changed1.add(name)
 
     # ------------------------------------------------------------------
@@ -549,6 +571,8 @@ class _WarmEngine:
 
     def _run_phase2(self) -> None:
         for index in range(len(self.condensation.components) - 1, -1, -1):
+            if self.phase2_scope is not None and index not in self.phase2_scope:
+                continue
             members = self.condensation.members(index)
             member_set = set(members)
             if not self._phase2_needed(members, member_set):
@@ -632,9 +656,20 @@ class _WarmEngine:
 
     # ------------------------------------------------------------------
 
-    def run(self) -> AnalysisResult:
+    def solve(self) -> None:
+        """Run both phases over the configured component scopes without
+        assembling a program-wide result.
+
+        The demand engine (:mod:`repro.interproc.demand`) uses this
+        with scopes set: afterwards ``self.fresh`` holds the re-solved
+        summaries and ``self.changed1`` / ``self.changed2`` /
+        ``self.orphaned`` say what the memoized cache may keep.
+        """
         self._run_phase1()
         self._run_phase2()
+
+    def run(self) -> AnalysisResult:
+        self.solve()
         _log.debug(
             "warm engine: phase1 solved %d / reused %d, "
             "phase2 solved %d / reused %d",

@@ -1109,6 +1109,11 @@ def analyze_incremental_parallel(
             for name in cfgs
         }
         dirty = record_fingerprint_verdicts(fingerprints, cache)
+        # The shard engine pins boundaries with full cached summaries;
+        # phase-1-only triple entries (demand-engine memos) satisfy the
+        # fingerprint check but carry no liveness, so re-solve them
+        # here rather than teach every shard about partial entries.
+        dirty |= {name for name in cfgs if name not in cache.result.summaries}
     metrics.dirty_routines = sorted(dirty)
     _log.info(
         "warm parallel run: %d routines, %d dirty, jobs=%d",

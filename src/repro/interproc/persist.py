@@ -32,6 +32,17 @@ SUM2 layout (little-endian)::
       u64 routine_fingerprint
       u8 flags            (bit 0: externally callable)
       <summary body>
+    u32 triple_count | per triple:
+      u16 name_len | name utf-8
+      u64 routine_fingerprint
+      u64 may_use | u64 may_def | u64 must_def
+
+The trailing *triple* section carries phase-1-only entries written by
+the demand-driven query engine (:mod:`repro.interproc.demand`): a
+routine whose call-used/defined/killed triple was validated by a query
+but whose phase-2 liveness never was.  The section is mandatory (an
+empty cache writes ``triple_count == 0``); pre-triple-section caches
+fail to parse and the readers treat that as a cold start.
 
 Shared summary body::
 
@@ -65,6 +76,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Set
 
 from repro.cfg.cfg import CallSite, ExitKind
+from repro.dataflow.equations import SummaryTriple
 from repro.dataflow.regset import FULL_MASK
 from repro.obs.metrics import REGISTRY
 from repro.obs.tracer import span
@@ -357,15 +369,26 @@ class SummaryCache:
     the conservative phase-2 exit seeding, so a change in export /
     address-taken status invalidates them even when their code did not
     change.
+
+    ``phase1_triples`` holds phase-1-only entries: routines whose
+    call-used/defined/killed triple is known-valid (scoped by the same
+    fingerprint map) but whose phase-2 liveness is not cached.  The
+    demand engine writes these for the callee cone of a query so the
+    next query skips phase 1 there; full runs consume them through
+    :class:`repro.interproc.incremental._WarmEngine` like any other
+    cached triple.
     """
 
     image_fingerprint: int
     result: AnalysisResult
     routine_fingerprints: Dict[str, int] = field(default_factory=dict)
     externally_callable: Set[str] = field(default_factory=set)
+    phase1_triples: Dict[str, SummaryTriple] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
-        missing = set(self.result.summaries) - set(self.routine_fingerprints)
+        missing = (
+            set(self.result.summaries) | set(self.phase1_triples)
+        ) - set(self.routine_fingerprints)
         if missing:
             raise ValueError(
                 f"cached routines without fingerprints: {sorted(missing)}"
@@ -390,6 +413,15 @@ def dump_cache(cache: SummaryCache) -> bytes:
             )
             writer.u8(flags)
             _write_summary_body(writer, cache.result.summaries[name])
+        triple_names = sorted(cache.phase1_triples)
+        writer.u32(len(triple_names))
+        for name in triple_names:
+            writer.text(name)
+            writer.u64(cache.routine_fingerprints[name])
+            triple = cache.phase1_triples[name]
+            writer.u64(triple.may_use)
+            writer.u64(triple.may_def)
+            writer.u64(triple.must_def)
         blob = writer.blob()
     REGISTRY.inc("cache.write")
     REGISTRY.inc("cache.write_bytes", len(blob))
@@ -423,6 +455,15 @@ def load_cache(blob: bytes, expected_fingerprint: int = 0) -> SummaryCache:
             if flags & _FLAG_EXTERNALLY_CALLABLE:
                 externally_callable.add(name)
             summaries[name] = _read_summary_body(reader, name)
+        phase1_triples: Dict[str, SummaryTriple] = {}
+        for _ in range(reader.u32()):
+            name = reader.text()
+            routine_fingerprints[name] = reader.u64()
+            phase1_triples[name] = SummaryTriple(
+                may_use=reader.mask(),
+                may_def=reader.mask(),
+                must_def=reader.mask(),
+            )
         reader.expect_end()
     REGISTRY.inc("cache.load")
     REGISTRY.inc("cache.load_bytes", len(blob))
@@ -432,4 +473,5 @@ def load_cache(blob: bytes, expected_fingerprint: int = 0) -> SummaryCache:
         result=AnalysisResult(summaries=summaries),
         routine_fingerprints=routine_fingerprints,
         externally_callable=externally_callable,
+        phase1_triples=phase1_triples,
     )

@@ -34,6 +34,12 @@ Counter inventory (see ``docs/observability.md`` for semantics):
 ``cache.load`` / ``cache.write`` (+ ``_bytes``)   SUM2 cache I/O
 ``sidecar.load`` / ``sidecar.write`` (+ ``_bytes``) SUM1 sidecar I/O
 ``shards.solved{phase=}`` / ``shards.reused``     parallel scheduling
+``query.requests``               demand-driven queries answered
+``query.cone_routines{phase=}``  routines in the query's phase-1 /
+                                 phase-2 cones, summed over queries
+``query.solved`` / ``query.reused``  phase-2 work inside the cones
+``query.memo_dropped``           cache entries (or grades) a query's
+                                 memo write-back had to invalidate
 ``regset.constructed``           RegisterSet objects built
 =============================== =====================================
 
@@ -65,6 +71,10 @@ SEEDED_KEYS: Tuple[MetricKey, ...] = (
     ("cache.stale", ()),
     ("cache.write", ()),
     ("frontend.routines", ()),
+    ("query.requests", ()),
+    ("query.solved", ()),
+    ("query.reused", ()),
+    ("query.memo_dropped", ()),
     ("solver.iterations", (("phase", "phase1"),)),
     ("solver.iterations", (("phase", "phase2"),)),
     ("solver.pushes", ()),

@@ -239,13 +239,21 @@ def lower_psg(psg: ProgramSummaryGraph) -> PsgArena:
 
 def get_arena(psg: ProgramSummaryGraph) -> PsgArena:
     """The arena for ``psg``, lowered on first use and cached on the
-    instance.  Safe because everything the arena captures — topology,
-    flow labels, unknown-call labels — is fixed once the PSG is built;
-    phase-1's relabeling of *resolved* call-return edges is per-solve
-    state the arena deliberately excludes.
+    instance, keyed on the graph's generation stamp.
+
+    Everything the arena captures — topology, flow labels,
+    unknown-call labels — is fixed once the PSG is built, so the cache
+    is normally hit forever; phase-1's relabeling of *resolved*
+    call-return edges is per-solve state the arena deliberately
+    excludes.  Code that *does* mutate captured state must call
+    :meth:`ProgramSummaryGraph.bump_version`, after which the next
+    call here re-lowers instead of returning the stale arena.
     """
+    version = getattr(psg, "version", 0)
     arena = getattr(psg, "_arena", None)
-    if arena is None:
-        arena = PsgArena(psg)
-        psg._arena = arena  # type: ignore[attr-defined]
+    if arena is not None and getattr(psg, "_arena_version", None) == version:
+        return arena
+    arena = PsgArena(psg)
+    psg._arena = arena  # type: ignore[attr-defined]
+    psg._arena_version = version  # type: ignore[attr-defined]
     return arena

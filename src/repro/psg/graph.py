@@ -53,6 +53,12 @@ class ProgramSummaryGraph:
     routines: Dict[str, RoutinePSG]
 
     def __post_init__(self) -> None:
+        #: Generation stamp for cached lowerings.  Anything that mutates
+        #: what a lowering snapshots — flow-edge labels, topology —
+        #: must call :meth:`bump_version`; cached artifacts (the CSR
+        #: arena, see :func:`repro.psg.arena.get_arena`) are keyed on
+        #: the stamp and rebuild on the next use after a bump.
+        self.version: int = 0
         count = len(self.nodes)
         self.flow_out: List[List[int]] = [[] for _ in range(count)]
         self.flow_in: List[List[int]] = [[] for _ in range(count)]
@@ -72,6 +78,18 @@ class ProgramSummaryGraph:
         for index, edge in enumerate(self.call_return_edges):
             for callee in edge.callees:
                 self.cr_edges_to.setdefault(callee, []).append(index)
+
+    def bump_version(self) -> None:
+        """Record that the graph was mutated after construction.
+
+        Call this after changing anything a cached lowering captured
+        (flow-edge labels, edges, nodes) so the next
+        :func:`repro.psg.arena.get_arena` re-lowers instead of
+        returning a stale arena.  Phase-1's per-solve relabeling of
+        *resolved* call-return edges is exempt — the arena deliberately
+        never snapshots those labels.
+        """
+        self.version += 1
 
     # ------------------------------------------------------------------
     # Statistics (Tables 3-5)

@@ -192,6 +192,54 @@ class IncrementalMetrics:
 
 
 @dataclass
+class QueryMetrics(IncrementalMetrics):
+    """What one demand-driven query did (:mod:`repro.interproc.demand`).
+
+    Extends :class:`IncrementalMetrics` — a query *is* a scoped warm
+    run — with the queried routine and the size of the two dependency
+    cones it was restricted to.  ``phaseN_solved + phaseN_reused`` sums
+    to the cone size, not ``routines_total``: routines outside the
+    cones are never examined at all.
+    """
+
+    routine: str = ""
+    #: SCC-condensation components in the phase-1 (callee) cone.
+    phase1_cone_components: int = 0
+    #: Components in the phase-2 (caller) cone.
+    phase2_cone_components: int = 0
+    #: Routines in the phase-1 cone.
+    phase1_cone_routines: int = 0
+    #: Routines in the phase-2 cone (the memo write-back scope).
+    phase2_cone_routines: int = 0
+    #: Cache entries the memo write-back had to discard (stale facts
+    #: outside the solved cone that only a re-solve can refresh).
+    memo_dropped: int = 0
+
+    def as_dict(self) -> Dict[str, object]:
+        payload = super().as_dict()
+        payload.update(
+            routine=self.routine,
+            phase1_cone_components=self.phase1_cone_components,
+            phase2_cone_components=self.phase2_cone_components,
+            phase1_cone_routines=self.phase1_cone_routines,
+            phase2_cone_routines=self.phase2_cone_routines,
+            memo_dropped=self.memo_dropped,
+        )
+        return payload
+
+    def render(self) -> str:
+        lines = [
+            f"routine:            {self.routine}",
+            f"cone (phase1):      {self.phase1_cone_routines} routines in "
+            f"{self.phase1_cone_components} components",
+            f"cone (phase2):      {self.phase2_cone_routines} routines in "
+            f"{self.phase2_cone_components} components",
+            f"memo dropped:       {self.memo_dropped}",
+        ]
+        return "\n".join(lines) + "\n" + super().render()
+
+
+@dataclass
 class ShardMetrics:
     """What one shard's two solves did, measured inside the worker."""
 

@@ -268,6 +268,139 @@ class TestExitCodes:
         assert "bogus" in capsys.readouterr().err
 
 
+class TestQuerySubcommand:
+    def test_cold_then_warm(self, image_path, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        assert main(["query", image_path, "helper"]) == 0
+        first = capsys.readouterr().out
+        assert "routine:       helper" in first
+        assert "cold (no cache file)" in first
+        assert "live-at-entry" in first
+        assert "wrote cache" in first
+        import os as _os
+
+        assert _os.path.exists(image_path + ".sum2")
+        assert main(["query", image_path, "helper"]) == 0
+        second = capsys.readouterr().out
+        assert "warm" in second
+        assert "reanalyzed:    0 routines" in second
+
+    def test_json_payload(self, image_path, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        assert main(["query", image_path, "main", "--json"]) == 0
+        captured = capsys.readouterr()
+        # The cache-write note must not pollute the JSON stdout.
+        assert "wrote cache" in captured.err
+        payload = json.loads(captured.out)
+        assert payload["kind"] == "query"
+        assert payload["routine"] == "main"
+        assert payload["summary"]["routine"] == "main"
+        assert "live_at_entry" in payload["summary"]
+        assert "live_at_exit" in payload["summary"]
+        assert "query.requests" in payload["counters"]
+
+    def test_stats_block(self, image_path, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        assert main(["query", image_path, "helper", "--stats"]) == 0
+        out = capsys.readouterr().out
+        assert "counters:" in out
+        assert "query.requests" in out
+
+    def test_unknown_routine_is_2(self, image_path, capsys):
+        assert main(["query", image_path, "nonexistent"]) == 2
+        assert "no routine named 'nonexistent'" in capsys.readouterr().err
+
+    def test_missing_image_is_3(self, tmp_path, capsys):
+        assert main(["query", str(tmp_path / "absent.sax"), "main"]) == 3
+        assert "cannot load image" in capsys.readouterr().err
+
+    def test_unwritable_cache_is_5(self, image_path, tmp_path, capsys):
+        cache_dir = tmp_path / "cache.sum2"
+        cache_dir.mkdir()
+        code = main(
+            ["query", image_path, "helper", "--cache", str(cache_dir)]
+        )
+        assert code == 5
+        captured = capsys.readouterr()
+        assert "could not write cache" in captured.err
+        # The query itself still ran and printed its answer.
+        assert "live-at-entry" in captured.out
+
+    def test_shares_sidecar_with_incremental_analyze(
+        self, image_path, tmp_path, capsys, monkeypatch
+    ):
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        cache = str(tmp_path / "facts.sum2")
+        assert main(
+            ["analyze", image_path, "--incremental", "--cache", cache]
+        ) == 0
+        capsys.readouterr()
+        assert main(
+            ["query", image_path, "helper", "--cache", cache]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "warm" in out
+        assert "reanalyzed:    0 routines" in out
+        # And the refreshed sidecar warms a later incremental run.
+        assert main(
+            ["analyze", image_path, "--incremental", "--cache", cache]
+        ) == 0
+        assert "reanalyzed:    0 routines" in capsys.readouterr().out
+
+
+class TestJobsEnvHardening:
+    """Malformed REPRO_JOBS is a usage error (exit 2), not a traceback;
+    0 and negative keep their documented one-worker-per-CPU meaning."""
+
+    @pytest.mark.parametrize(
+        "args",
+        [["analyze"], ["analyze", "--incremental"], ["query", "helper"]],
+        ids=["analyze", "incremental", "query"],
+    )
+    def test_garbage_value_is_2(self, args, image_path, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "banana")
+        command = [args[0], image_path] + args[1:]
+        assert main(command) == 2
+        err = capsys.readouterr().err
+        assert "REPRO_JOBS must be an integer" in err
+        assert "banana" in err
+
+    @pytest.mark.parametrize("value", ["0", "-3"])
+    def test_zero_and_negative_mean_one_per_cpu(
+        self, value, image_path, capsys, monkeypatch
+    ):
+        from repro.interproc import parallel
+
+        monkeypatch.setenv("REPRO_JOBS", value)
+        monkeypatch.setattr(
+            parallel.multiprocessing, "cpu_count", lambda: 2
+        )
+        assert main(["analyze", image_path, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["kind"] == "parallel"
+        assert payload["jobs"] == 2
+        # query validates the same setting (and solves serially).
+        assert main(["query", image_path, "helper"]) == 0
+        assert "routine:       helper" in capsys.readouterr().out
+
+
+class TestAnnotateJobsWarning:
+    def test_forced_serial_warns_when_env_set(
+        self, image_path, capsys, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_JOBS", "4")
+        assert main(["analyze", image_path, "--annotate"]) == 0
+        captured = capsys.readouterr()
+        assert "force a serial solve" in captured.err
+        assert "ignoring REPRO_JOBS" in captured.err
+        assert "call-used" in captured.out
+
+    def test_no_warning_without_env(self, image_path, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        assert main(["analyze", image_path, "--annotate"]) == 0
+        assert "force a serial solve" not in capsys.readouterr().err
+
+
 class TestStatsFlag:
     """--stats works for every analyze mode, not just --incremental."""
 

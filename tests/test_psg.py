@@ -291,3 +291,53 @@ class TestStatistics:
         psg = build(figure4_program)
         assert len(psg.nodes_of_kind(NodeKind.ENTRY)) == 3  # main, f, g
         assert len(psg.nodes_of_kind(NodeKind.CALL)) == 2
+
+
+class TestArenaCache:
+    """get_arena keys its per-PSG cache on the graph's generation
+    stamp, so mutating the graph and bumping the version re-lowers
+    instead of serving a stale arena (the old behaviour cached the
+    first lowering forever)."""
+
+    def test_cache_hit_on_unchanged_graph(self, small_benchmark):
+        from repro.psg.arena import get_arena
+
+        psg = build(small_benchmark)
+        assert get_arena(psg) is get_arena(psg)
+
+    def test_bump_version_invalidates(self, small_benchmark):
+        from repro.psg.arena import get_arena
+
+        psg = build(small_benchmark)
+        first = get_arena(psg)
+        psg.bump_version()
+        second = get_arena(psg)
+        assert second is not first
+        # ... and the new arena is itself cached.
+        assert get_arena(psg) is second
+
+    def test_rebuilt_arena_sees_mutated_labels(self, small_benchmark):
+        from repro.dataflow.equations import SummaryTriple
+        from repro.psg.arena import get_arena
+
+        psg = build(small_benchmark)
+        stale = get_arena(psg)
+        edge = psg.flow_edges[0]
+        mutated = SummaryTriple(
+            may_use=edge.label.may_use | 1,
+            may_def=edge.label.may_def,
+            must_def=edge.label.must_def,
+        )
+        psg.flow_edges[0] = type(edge)(
+            src=edge.src, dst=edge.dst, label=mutated
+        )
+        psg.bump_version()
+        fresh = get_arena(psg)
+        assert fresh is not stale
+        # The rebuilt arena snapshots the new label; the stale one
+        # still carries the old mask — exactly the hazard the stamp
+        # closes.
+        position = psg.flow_out[edge.src].index(0)
+        offset = fresh.flow_off[edge.src] + position
+        assert fresh.flow_mu[offset] == mutated.may_use
+        assert stale.flow_mu[offset] == edge.label.may_use
