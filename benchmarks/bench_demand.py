@@ -31,7 +31,7 @@ from benchmarks.conftest import analyze_serial, benchmark_program, record
 from repro.api import AnalysisSession
 from repro.interproc import dump_cache, load_cache
 from repro.interproc.persist import dump_summaries
-from repro.interproc.summaries import AnalysisResult
+from repro.interproc.summaries import SummarySet
 from repro.workloads.mutate import first_editable_routine, perturb_routine
 
 REQUIRE_SPEEDUP = os.environ.get("REPRO_BENCH_REQUIRE_SPEEDUP") == "1"
@@ -52,7 +52,7 @@ HEADERS = (
 
 
 def _canon(summary) -> bytes:
-    return dump_summaries(AnalysisResult(summaries={summary.name: summary}))
+    return dump_summaries(SummarySet(summaries={summary.name: summary}))
 
 
 @pytest.mark.parametrize("name", DEMAND_BENCHMARKS)

@@ -21,7 +21,7 @@ e.g.       python examples/analyze_large_app.py acad 0.02
 
 import sys
 
-from repro import analyze_program, analyze_program_baseline
+from repro import AnalysisSession, analyze_program_baseline
 from repro.cfg.build import build_all_cfgs
 from repro.dataflow.local import compute_program_local_sets
 from repro.psg.build import PsgConfig, build_psg
@@ -38,7 +38,7 @@ def main() -> None:
     program = generate_program(shape, GeneratorConfig(seed=0))
 
     print("analyzing (PSG, two-phase) ...")
-    analysis = analyze_program(program)
+    analysis = AnalysisSession.from_program(program).analyze()
 
     blocks = analysis.basic_block_count
     arcs = analysis.cfg_arc_count

@@ -16,7 +16,7 @@ Run with:  python examples/callgraph_explorer.py [routine]
 
 import sys
 
-from repro import analyze_program
+from repro import AnalysisSession
 from repro.workloads.generator import GeneratorConfig, generate_benchmark
 
 
@@ -24,7 +24,7 @@ def main() -> None:
     program, _shape = generate_benchmark(
         "li", scale=0.08, config=GeneratorConfig(seed=42)
     )
-    analysis = analyze_program(program)
+    analysis = AnalysisSession.from_program(program).analyze()
     graph = analysis.call_graph
 
     print(f"program: {program.routine_count} routines, "

@@ -21,7 +21,7 @@ Run with:  python examples/optimize_binary.py
 from repro import (
     assemble,
     disassemble_image,
-    optimize_program,
+    AnalysisSession,
     render_listing,
 )
 
@@ -94,7 +94,7 @@ def main() -> None:
     print("=== Before ===")
     print(render_listing(program))
 
-    result = optimize_program(program, verify=True)
+    result = AnalysisSession.from_program(program).optimize(verify=True)
 
     print("=== Pass reports ===")
     for report in result.reports:

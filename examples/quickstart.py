@@ -14,7 +14,7 @@ Run with:  python examples/quickstart.py
 """
 
 from repro import (
-    analyze_program,
+    AnalysisSession,
     assemble,
     disassemble_image,
     render_listing,
@@ -51,7 +51,7 @@ def main() -> None:
     print(render_listing(program))
 
     # 3. Interprocedural dataflow analysis (PSG + two phases).
-    analysis = analyze_program(program)
+    analysis = AnalysisSession.from_program(program).analyze()
 
     # 4. Read the summaries.
     print("=== Routine summaries ===")

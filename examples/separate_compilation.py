@@ -21,7 +21,7 @@ makes that story concrete:
 Run with:  python examples/separate_compilation.py
 """
 
-from repro import analyze_program, disassemble_image, optimize_program
+from repro import AnalysisSession, disassemble_image
 from repro.program.linker import ObjectModule, link_modules
 
 
@@ -83,7 +83,7 @@ def main() -> None:
           f"{program.instruction_count} instructions")
     print()
 
-    analysis = analyze_program(program)
+    analysis = AnalysisSession.from_program(program).analyze()
     scale_site = analysis.summary("main").call_sites[0]
     offset_site = analysis.summary("scale").call_sites[0]
     print("facts that did not exist before linking:")
@@ -91,7 +91,7 @@ def main() -> None:
     print(f"  call to offset kills only {offset_site.killed!r}")
     print()
 
-    result = optimize_program(program, verify=True)
+    result = AnalysisSession.from_program(program).optimize(verify=True)
     print("optimizer reports:")
     for report in result.reports:
         print(f"  {report.name:<10} deleted {report.instructions_deleted:>2}  "

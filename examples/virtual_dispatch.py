@@ -24,7 +24,7 @@ Run with:  python examples/virtual_dispatch.py
 
 import dataclasses
 
-from repro import Assembler, analyze_program, disassemble_image, run_program
+from repro import AnalysisSession, Assembler, disassemble_image, run_program
 from repro.interproc.persist import (
     dump_summaries,
     image_fingerprint,
@@ -68,7 +68,7 @@ def main() -> None:
     program = disassemble_image(image)
 
     print("=== With the linker's call-target hint ===")
-    hinted = analyze_program(program)
+    hinted = AnalysisSession.from_program(program).analyze()
     site = hinted.summary("main").call_sites[0]
     print(f"dispatch targets: {site.site.targets}")
     print(f"  call-used:    {site.used!r}")
@@ -82,7 +82,7 @@ def main() -> None:
 
     print("=== Same binary, hint stripped ===")
     blind_program = dataclasses.replace(program, call_target_hints={})
-    blind = analyze_program(blind_program)
+    blind = AnalysisSession.from_program(blind_program).analyze()
     blind_site = blind.summary("main").call_sites[0]
     print(f"dispatch targets: {blind_site.site.targets or '(unknown)'}")
     print(f"  call-killed:  {blind_site.killed!r}")

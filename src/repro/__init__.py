@@ -44,22 +44,17 @@ Quickstart::
 
 from repro.api import AnalysisError, AnalysisSession
 from repro.dataflow.regset import EMPTY_SET, UNIVERSE, RegisterSet
-from repro.interproc.analysis import (
-    AnalysisConfig,
-    InterproceduralAnalysis,
-    analyze_image,
-    analyze_program,
-)
+from repro.interproc.analysis import AnalysisConfig, InterproceduralAnalysis
 from repro.interproc.baseline import analyze_program_baseline
 from repro.interproc.summaries import (
-    AnalysisResult,
+    SummarySet,
     CallSiteSummary,
     RoutineSummary,
 )
 from repro.isa.calling_convention import NT_ALPHA, CallingConvention
 from repro.isa.instructions import Instruction, Opcode
 from repro.isa.registers import Register
-from repro.opt.pipeline import OptimizationResult, optimize_program
+from repro.opt.pipeline import OptimizationResult
 from repro.program.asm import Assembler, assemble
 from repro.program.disasm import disassemble_image, load_program, render_listing
 from repro.program.image import ExecutableImage
@@ -77,7 +72,7 @@ __all__ = [
     "ALL_SHAPES",
     "AnalysisConfig",
     "AnalysisError",
-    "AnalysisResult",
+    "SummarySet",
     "AnalysisSession",
     "Assembler",
     "BenchmarkShape",
@@ -99,8 +94,6 @@ __all__ = [
     "Routine",
     "RoutineSummary",
     "UNIVERSE",
-    "analyze_image",
-    "analyze_program",
     "analyze_program_baseline",
     "apply_edits",
     "assemble",
@@ -108,7 +101,6 @@ __all__ = [
     "disassemble_image",
     "generate_benchmark",
     "load_program",
-    "optimize_program",
     "program_to_image",
     "render_listing",
     "run_program",

@@ -76,21 +76,64 @@ from repro.interproc.incremental import (
 )
 from repro.interproc.parallel import ParallelAnalysis, analyze_parallel
 from repro.interproc.persist import SummaryCache, image_fingerprint
-from repro.interproc.summaries import AnalysisResult, RoutineSummary
+from repro.interproc.results import SCHEMA_VERSION, validate_payload
+from repro.interproc.summaries import SummarySet, RoutineSummary
 from repro.program.disasm import disassemble_image
 from repro.program.image import ExecutableImage, ImageFormatError
 from repro.program.model import Program
 from repro.psg.build import PsgBuildError
 from repro.dataflow.solver import SolverDivergence
+from typing import Mapping, Protocol, runtime_checkable
 
+#: The documented stable surface of the analysis API.  Everything else
+#: under ``repro.*`` is an implementation detail that may change
+#: between releases; the deprecated free-function shims of the pre-
+#: session era (``analyze_program``/``analyze_image``/
+#: ``analyze_incremental``/``optimize_program``) have been removed.
 __all__ = [
     "AnalysisConfig",
     "AnalysisError",
+    "AnalysisResult",
     "AnalysisSession",
     "JobsConfigError",
     "QueryResult",
+    "RoutineSummary",
+    "SCHEMA_VERSION",
+    "SummarySet",
     "UnknownRoutineError",
+    "validate_payload",
 ]
+
+
+@runtime_checkable
+class AnalysisResult(Protocol):
+    """What every analysis outcome looks like, whichever engine ran.
+
+    :meth:`AnalysisSession.analyze`, :meth:`~AnalysisSession.
+    analyze_incremental` and :meth:`~AnalysisSession.query` return
+    four concrete types (serial, parallel, incremental, query); all of
+    them satisfy this protocol, so callers that only consume results
+    never need to know which engine produced them.  ``to_json()`` is
+    the versioned external shape (``"schema": 1``) — the CLI
+    ``--json`` output and the ``repro.service`` daemon responses are
+    both exactly this payload (see :mod:`repro.interproc.results`).
+    """
+
+    #: ``"serial"``, ``"parallel"``, ``"incremental"`` or ``"query"``.
+    kind: str
+    #: True when the run solved on the sharded worker pool.
+    is_parallel: bool
+
+    @property
+    def result(self) -> SummarySet: ...
+
+    def summary(self, routine: str) -> RoutineSummary: ...
+
+    def stats(self) -> Mapping[str, object]: ...
+
+    def to_json(
+        self, counters=None, include_summaries: bool = False
+    ) -> Mapping[str, object]: ...
 
 _log = logging.getLogger(__name__)
 
@@ -213,6 +256,12 @@ class AnalysisSession:
     @property
     def config(self) -> AnalysisConfig:
         return self._config
+
+    @property
+    def has_query_state(self) -> bool:
+        """True once a query has warmed this session's memoized demand
+        front-end (the service daemon reports such requests as warm)."""
+        return self._query_frontend is not None
 
     @property
     def image_fingerprint(self) -> int:
@@ -392,7 +441,7 @@ class AnalysisSession:
     # Results of the most recent analysis
     # ------------------------------------------------------------------
 
-    def summaries(self) -> AnalysisResult:
+    def summaries(self) -> SummarySet:
         """Per-routine summaries of the most recent analysis (running a
         serial :meth:`analyze` first if none has been run).
 
@@ -430,24 +479,27 @@ class AnalysisSession:
         if last is None:
             return {}
         payload: Dict[str, object] = {
+            "kind": last.kind,
             "routines": self._program.routine_count,
             "counters": REGISTRY.delta_since(self._counter_base),
         }
-        if isinstance(last, InterproceduralAnalysis):
-            payload["kind"] = "serial"
-            payload["stage_seconds"] = last.timings.as_dict()
-            payload["memory_bytes"] = last.memory_bytes
-            payload["psg_nodes"] = last.psg.node_count
-            payload["psg_edges"] = last.psg.edge_count
-        elif isinstance(last, ParallelAnalysis):
-            payload["kind"] = "parallel"
-            payload.update(last.metrics.as_dict())
-        elif isinstance(last, QueryResult):
-            payload["kind"] = "query"
-            payload.update(last.metrics.as_dict())
-        else:
-            payload["kind"] = "incremental"
-            payload.update(last.metrics.as_dict())
-            if last.parallel is not None:
-                payload["parallel"] = last.parallel.as_dict()
+        payload.update(last.stats())
         return payload
+
+    def to_json(self, include_summaries: bool = False) -> Dict[str, object]:
+        """The schema-1 JSON payload of the most recent analysis
+        (running a serial :meth:`analyze` first if none has been run).
+
+        This is the one external result shape: the CLI ``--json``
+        output and every ``repro.service`` daemon response body are
+        exactly this payload (see :mod:`repro.interproc.results` for
+        the schema).  ``include_summaries=True`` embeds the rendered
+        per-routine summaries under a ``summaries`` key.
+        """
+        if self._last is None:
+            self.analyze()
+        assert self._last is not None
+        return self._last.to_json(
+            counters=REGISTRY.delta_since(self._counter_base),
+            include_summaries=include_summaries,
+        )

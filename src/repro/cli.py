@@ -162,8 +162,9 @@ def _cmd_analyze_incremental(
     metrics = incremental.metrics
     program = session.program
     if args.json:
-        payload = session.metrics()
-        payload["instructions"] = program.instruction_count
+        # The schema-1 result payload; the daemon serves the same shape
+        # (see repro.interproc.results).  "cache" is CLI-side context.
+        payload = session.to_json()
         payload["cache"] = cache_note
         print(json.dumps(payload, indent=2, sort_keys=True))
     else:
@@ -270,31 +271,13 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         return EXIT_ANALYSIS
     program = session.program
     if args.json:
-        payload = session.metrics()
-        payload["instructions"] = program.instruction_count
-        print(json.dumps(payload, indent=2, sort_keys=True))
-    elif analysis.is_parallel:
-        print(f"routines:      {program.routine_count}")
-        print(f"instructions:  {program.instruction_count}")
-        print()
-        print(analysis.metrics.render())
-        if args.stats:
-            _print_counters(session)
+        # One result shape for every engine: the session's schema-1
+        # payload (the daemon serves the identical object).
+        print(json.dumps(session.to_json(), indent=2, sort_keys=True))
     else:
         print(f"routines:      {program.routine_count}")
         print(f"instructions:  {program.instruction_count}")
-        print(f"basic blocks:  {analysis.basic_block_count}")
-        print(f"cfg arcs:      {analysis.cfg_arc_count}")
-        print(f"psg nodes:     {analysis.psg.node_count}")
-        print(f"psg edges:     {analysis.psg.edge_count}")
-        print(f"memory model:  {analysis.memory_bytes / 1e6:.2f} MB")
-        timings = analysis.timings
-        print(f"total time:    {timings.total:.3f} s")
-        for stage, fraction in timings.fractions().items():
-            print(
-                f"  {stage:<16}{getattr(timings, stage):.3f} s  "
-                f"({fraction:5.1%})"
-            )
+        print(analysis.describe())
         if args.stats:
             _print_counters(session)
     if args.routines:
@@ -401,21 +384,10 @@ def _cmd_query(args: argparse.Namespace) -> int:
     summary = result.summary
     metrics = result.metrics
     if args.json:
-        payload = session.metrics()
+        # Query results carry their rendered summary in the schema-1
+        # payload itself ("summary"); nothing is rebuilt here.
+        payload = session.to_json()
         payload["cache"] = cache_note
-        payload["summary"] = {
-            "routine": summary.name,
-            "call_used": sorted(summary.call_used.names()),
-            "call_defined": sorted(summary.call_defined.names()),
-            "call_killed": sorted(summary.call_killed.names()),
-            "live_at_entry": sorted(summary.live_at_entry.names()),
-            "live_at_exit": {
-                str(block): sorted(
-                    RegisterSet.from_mask(mask).names()
-                )
-                for block, mask in sorted(summary.exit_live_masks.items())
-            },
-        }
         print(json.dumps(payload, indent=2, sort_keys=True))
     else:
         print(f"routine:       {summary.name}")
@@ -573,6 +545,27 @@ def _cmd_benchmarks(_args: argparse.Namespace) -> int:
             f"{shape.name:<10} {shape.suite:<16} {shape.routines:>7} routines  "
             f"{shape.instructions:>9} instructions   {shape.description}"
         )
+    return EXIT_OK
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    # Imported lazily: the daemon pulls in http.server and the
+    # registry, which no other subcommand needs.
+    from repro.service import ServiceConfig, serve
+
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        socket_path=args.socket,
+        cache_dir=args.cache_dir,
+        max_bytes=args.max_bytes,
+        jobs=args.jobs,
+    )
+    try:
+        serve(config)
+    except OSError as error:
+        print(f"cannot serve: {error}", file=sys.stderr)
+        return EXIT_ANALYSIS
     return EXIT_OK
 
 
@@ -761,6 +754,43 @@ def build_parser() -> argparse.ArgumentParser:
 
     benchmarks = sub.add_parser("benchmarks", help="list known benchmarks")
     benchmarks.set_defaults(func=_cmd_benchmarks)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the analysis daemon (POST images, get --json payloads)",
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1", metavar="ADDR",
+        help="TCP bind address (default 127.0.0.1)",
+    )
+    serve.add_argument(
+        "--port", type=int, default=8484, metavar="N",
+        help="TCP port (default 8484; 0 picks an ephemeral port)",
+    )
+    serve.add_argument(
+        "--socket", default=None, metavar="PATH",
+        help="serve HTTP over this unix domain socket instead of TCP",
+    )
+    serve.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help=(
+            "persist per-tenant SUM2 cache sidecars under DIR so edit "
+            "requests warm-start across daemon restarts"
+        ),
+    )
+    serve.add_argument(
+        "--max-bytes", type=int, default=256 * 1024 * 1024,
+        metavar="N",
+        help=(
+            "retained-session byte budget; least-recently-used "
+            "sessions are evicted beyond it (default 256 MiB)"
+        ),
+    )
+    serve.add_argument(
+        "-j", "--jobs", type=int, default=None, metavar="N",
+        help="default worker count for solves (per-request jobs wins)",
+    )
+    serve.set_defaults(func=_cmd_serve)
     return parser
 
 

@@ -26,7 +26,7 @@ The two-phase analysis over the Program Summary Graph:
 """
 
 from repro.interproc.summaries import (
-    AnalysisResult,
+    SummarySet,
     CallSiteSummary,
     RoutineSummary,
 )
@@ -34,8 +34,6 @@ from repro.interproc.analysis import (
     AnalysisConfig,
     InterproceduralAnalysis,
     StageTimings,
-    analyze_image,
-    analyze_program,
 )
 from repro.interproc.savedregs import (
     SaveRestoreSites,
@@ -44,11 +42,7 @@ from repro.interproc.savedregs import (
 )
 from repro.interproc.baseline import analyze_program_baseline
 from repro.interproc.errors import AnalysisError
-from repro.interproc.incremental import (
-    IncrementalAnalysis,
-    analyze_incremental,
-    routine_fingerprint,
-)
+from repro.interproc.incremental import IncrementalAnalysis, routine_fingerprint
 from repro.interproc.parallel import (
     ParallelAnalysis,
     analyze_incremental_parallel,
@@ -67,7 +61,7 @@ from repro.interproc.persist import (
 __all__ = [
     "AnalysisConfig",
     "AnalysisError",
-    "AnalysisResult",
+    "SummarySet",
     "CallSiteSummary",
     "IncrementalAnalysis",
     "InterproceduralAnalysis",
@@ -77,11 +71,8 @@ __all__ = [
     "StageTimings",
     "SummaryCache",
     "SummaryFormatError",
-    "analyze_image",
-    "analyze_incremental",
     "analyze_incremental_parallel",
     "analyze_parallel",
-    "analyze_program",
     "analyze_program_baseline",
     "dump_cache",
     "dump_summaries",

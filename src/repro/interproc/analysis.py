@@ -40,7 +40,7 @@ from repro.interproc.phase1 import Phase1Result, run_phase1
 from repro.interproc.phase2 import Phase2Result, run_phase2
 from repro.interproc.savedregs import saved_restored_registers
 from repro.interproc.summaries import (
-    AnalysisResult,
+    SummarySet,
     CallSiteSummary,
     RoutineSummary,
 )
@@ -120,7 +120,7 @@ class InterproceduralAnalysis:
     psg: ProgramSummaryGraph
     phase1: Phase1Result
     phase2: Phase2Result
-    result: AnalysisResult
+    result: SummarySet
     timings: StageTimings
     memory_bytes: int
 
@@ -132,8 +132,44 @@ class InterproceduralAnalysis:
     #: attributes like ``psg``.
     is_parallel: bool = False
 
+    #: Result-protocol kind tag (see :mod:`repro.interproc.results`).
+    kind = "serial"
+
     def summary(self, routine: str) -> RoutineSummary:
         return self.result.summaries[routine]
+
+    def stats(self) -> Dict[str, object]:
+        """Kind-specific stats: stage timings and structure sizes."""
+        return {
+            "stage_seconds": self.timings.as_dict(),
+            "memory_bytes": self.memory_bytes,
+            "psg_nodes": self.psg.node_count,
+            "psg_edges": self.psg.edge_count,
+        }
+
+    def to_json(self, counters=None, include_summaries: bool = False):
+        """The versioned (schema 1) result payload; see
+        :mod:`repro.interproc.results`."""
+        from repro.interproc.results import build_payload
+
+        return build_payload(self, counters, include_summaries)
+
+    def describe(self) -> str:
+        """The human-readable stats block (the CLI text output)."""
+        lines = [
+            f"basic blocks:  {self.basic_block_count}",
+            f"cfg arcs:      {self.cfg_arc_count}",
+            f"psg nodes:     {self.psg.node_count}",
+            f"psg edges:     {self.psg.edge_count}",
+            f"memory model:  {self.memory_bytes / 1e6:.2f} MB",
+            f"total time:    {self.timings.total:.3f} s",
+        ]
+        for stage, fraction in self.timings.fractions().items():
+            lines.append(
+                f"  {stage:<16}{getattr(self.timings, stage):.3f} s  "
+                f"({fraction:5.1%})"
+            )
+        return "\n".join(lines)
 
     @property
     def basic_block_count(self) -> int:
@@ -236,38 +272,6 @@ def _analyze_image(
     return analysis
 
 
-def analyze_program(
-    program: Program, config: Optional[AnalysisConfig] = None
-) -> InterproceduralAnalysis:
-    """Deprecated free-function entry point.
-
-    Use ``repro.api.AnalysisSession.from_program(program).analyze()``.
-    """
-    warnings.warn(
-        "analyze_program() is deprecated; use "
-        "repro.api.AnalysisSession.from_program(program).analyze()",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    return _analyze_program(program, config)
-
-
-def analyze_image(
-    image: ExecutableImage, config: Optional[AnalysisConfig] = None
-) -> InterproceduralAnalysis:
-    """Deprecated free-function entry point.
-
-    Use ``repro.api.AnalysisSession.from_image(image).analyze()``.
-    """
-    warnings.warn(
-        "analyze_image() is deprecated; use "
-        "repro.api.AnalysisSession.from_image(image).analyze()",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    return _analyze_image(image, config)
-
-
 def node_seed_order(
     psg: ProgramSummaryGraph, routine_order: Sequence[str]
 ) -> List[int]:
@@ -300,7 +304,7 @@ def _assemble_summaries(
     psg: ProgramSummaryGraph,
     phase1: Phase1Result,
     phase2: Phase2Result,
-) -> AnalysisResult:
+) -> SummarySet:
     summaries: Dict[str, RoutineSummary] = {}
     cr_by_src = {edge.src: edge for edge in psg.call_return_edges}
     for routine in program:
@@ -340,4 +344,4 @@ def _assemble_summaries(
             call_sites=call_sites,
             saved_restored_mask=saved_restored.get(name, 0),
         )
-    return AnalysisResult(summaries=summaries)
+    return SummarySet(summaries=summaries)

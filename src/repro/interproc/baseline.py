@@ -16,7 +16,7 @@ valid-paths semantics as the PSG analysis:
 
 Because both engines implement the same specification, their summaries
 must agree exactly; the test suite uses this as the main correctness
-oracle (`AnalysisResult.equal_summaries`).  The benchmarks use the
+oracle (`SummarySet.equal_summaries`).  The benchmarks use the
 baseline for the time/memory comparison that justifies the PSG.
 """
 
@@ -39,7 +39,7 @@ from repro.interproc.analysis import AnalysisConfig
 from repro.interproc.phase2 import conservative_exit_live_mask
 from repro.interproc.savedregs import saved_restored_registers
 from repro.interproc.summaries import (
-    AnalysisResult,
+    SummarySet,
     CallSiteSummary,
     RoutineSummary,
 )
@@ -51,7 +51,7 @@ class BaselineAnalysis:
     """Result of the whole-program-CFG analysis."""
 
     program: Program
-    result: AnalysisResult
+    result: SummarySet
     elapsed_seconds: float
     memory_bytes: int
     basic_block_count: int
@@ -353,7 +353,7 @@ def analyze_program_baseline(
     memory = cfg_analysis_memory(cfgs, 2 * call_count, config.memory_model)
     return BaselineAnalysis(
         program=program,
-        result=AnalysisResult(summaries=summaries),
+        result=SummarySet(summaries=summaries),
         elapsed_seconds=elapsed,
         memory_bytes=memory,
         basic_block_count=flat.count,

@@ -75,7 +75,7 @@ from repro.interproc.incremental import (
     routine_fingerprint,
 )
 from repro.interproc.persist import SummaryCache
-from repro.interproc.summaries import AnalysisResult, RoutineSummary
+from repro.interproc.summaries import SummarySet, RoutineSummary
 from repro.obs.metrics import REGISTRY
 from repro.reporting.metrics import QueryMetrics
 
@@ -126,10 +126,41 @@ class QueryResult:
     metrics: QueryMetrics
     condensation: Optional[Condensation] = None
     frontend: Optional[QueryFrontend] = None
+    #: The queried program (carried for the result protocol's
+    #: ``routines``/``instructions`` payload fields).
+    program: Optional[object] = None
 
     #: Queries always solve serially (the cones are usually far
     #: smaller than a shard); kept for result-type uniformity.
     is_parallel: bool = False
+
+    #: Result-protocol kind tag (see :mod:`repro.interproc.results`).
+    kind = "query"
+
+    @property
+    def result(self) -> SummarySet:
+        """The deterministic answer as a one-routine summary set.
+
+        Deliberately *not* the memoized cache's whole view: the cache
+        carries whatever partial state earlier runs left, while the
+        queried routine's summary is exactly what an exhaustive solve
+        would report — the byte-identity contract of the demand engine.
+        """
+        return SummarySet(summaries={self.routine: self.summary})
+
+    def stats(self) -> Dict[str, object]:
+        """Kind-specific stats: cone sizes, work accounting and the
+        queried routine's rendered summary."""
+        payload: Dict[str, object] = dict(self.metrics.as_dict())
+        payload["summary"] = self.summary.to_json()
+        return payload
+
+    def to_json(self, counters=None, include_summaries: bool = False):
+        """The versioned (schema 1) result payload; see
+        :mod:`repro.interproc.results`."""
+        from repro.interproc.results import build_payload
+
+        return build_payload(self, counters, include_summaries)
 
 
 def query_routine(
@@ -172,7 +203,7 @@ def query_routine(
         metrics.cold = True
         cache = SummaryCache(
             image_fingerprint=image_fingerprint,
-            result=AnalysisResult(summaries={}),
+            result=SummarySet(summaries={}),
         )
     with metrics.stage("fingerprint"):
         fingerprints = {
@@ -239,6 +270,7 @@ def query_routine(
         metrics=metrics,
         condensation=condensation,
         frontend=frontend,
+        program=program,
     )
 
 
@@ -343,7 +375,7 @@ def _memoized_cache(
     REGISTRY.inc("query.memo_dropped", dropped)
     return SummaryCache(
         image_fingerprint=image_fingerprint,
-        result=AnalysisResult(summaries=summaries),
+        result=SummarySet(summaries=summaries),
         routine_fingerprints=keyed_fingerprints,
         externally_callable=externally_callable,
         phase1_triples=phase1_triples,

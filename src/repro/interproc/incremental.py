@@ -59,7 +59,7 @@ from repro.interproc.phase1 import run_phase1
 from repro.interproc.phase2 import run_phase2
 from repro.interproc.savedregs import saved_restored_registers
 from repro.interproc.summaries import (
-    AnalysisResult,
+    SummarySet,
     CallSiteSummary,
     RoutineSummary,
 )
@@ -134,7 +134,7 @@ class IncrementalAnalysis:
     config: AnalysisConfig
     cfgs: Dict[str, ControlFlowGraph]
     call_graph: CallGraph
-    result: AnalysisResult
+    result: SummarySet
     cache: SummaryCache
     metrics: IncrementalMetrics
     condensation: Optional[Condensation] = None
@@ -142,10 +142,31 @@ class IncrementalAnalysis:
     #: (``jobs > 1``); ``None`` for serial runs.
     parallel: Optional[ParallelMetrics] = None
 
+    #: Result-protocol kind tag (see :mod:`repro.interproc.results`).
+    kind = "incremental"
+
     @property
     def is_parallel(self) -> bool:
         """True when the run was solved on the sharded worker pool."""
         return self.parallel is not None
+
+    def summary(self, routine: str) -> RoutineSummary:
+        return self.result.summaries[routine]
+
+    def stats(self) -> Dict[str, object]:
+        """Kind-specific stats: incremental work accounting (plus the
+        shard/pool record when the dirty cone solved in parallel)."""
+        payload: Dict[str, object] = dict(self.metrics.as_dict())
+        if self.parallel is not None:
+            payload["parallel"] = self.parallel.as_dict()
+        return payload
+
+    def to_json(self, counters=None, include_summaries: bool = False):
+        """The versioned (schema 1) result payload; see
+        :mod:`repro.interproc.results`."""
+        from repro.interproc.results import build_payload
+
+        return build_payload(self, counters, include_summaries)
 
 
 def _analyze_incremental(
@@ -190,33 +211,6 @@ def _analyze_incremental(
         return _cold_run(program, config, image_fingerprint, metrics)
 
     return _warm_run(program, cache, config, image_fingerprint, metrics)
-
-
-def analyze_incremental(
-    program: Program,
-    cache: Optional[SummaryCache] = None,
-    config: Optional[AnalysisConfig] = None,
-    image_fingerprint: int = 0,
-    jobs: Optional[int] = None,
-) -> IncrementalAnalysis:
-    """Deprecated free-function entry point.
-
-    Use ``repro.api.AnalysisSession.from_program(program)
-    .analyze_incremental(cache=...)``.
-    """
-    warnings.warn(
-        "analyze_incremental() is deprecated; use repro.api."
-        "AnalysisSession.from_program(program).analyze_incremental(...)",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    return _analyze_incremental(
-        program,
-        cache=cache,
-        config=config,
-        image_fingerprint=image_fingerprint,
-        jobs=jobs,
-    )
 
 
 def _warm_run(
@@ -668,7 +662,7 @@ class _WarmEngine:
         self._run_phase1()
         self._run_phase2()
 
-    def run(self) -> AnalysisResult:
+    def run(self) -> SummarySet:
         self.solve()
         _log.debug(
             "warm engine: phase1 solved %d / reused %d, "
@@ -680,7 +674,7 @@ class _WarmEngine:
             name: self.fresh.get(name) or self.cached[name]
             for name in self.cfgs
         }
-        return AnalysisResult(summaries=summaries)
+        return SummarySet(summaries=summaries)
 
 
 def _same_liveness(fresh: RoutineSummary, cached: RoutineSummary) -> bool:

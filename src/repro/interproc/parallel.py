@@ -76,7 +76,7 @@ from repro.interproc.phase1 import run_phase1
 from repro.interproc.phase2 import run_phase2
 from repro.interproc.savedregs import saved_restored_registers
 from repro.interproc.summaries import (
-    AnalysisResult,
+    SummarySet,
     CallSiteSummary,
     RoutineSummary,
 )
@@ -828,7 +828,7 @@ class ParallelAnalysis:
     call_graph: CallGraph
     condensation: Condensation
     plan: ShardPlan
-    result: AnalysisResult
+    result: SummarySet
     metrics: ParallelMetrics
 
     #: Explicit marker for CLI/report code (counterpart of
@@ -836,8 +836,26 @@ class ParallelAnalysis:
     #: duck-typing on the absence of a ``psg`` attribute.
     is_parallel: bool = True
 
+    #: Result-protocol kind tag (see :mod:`repro.interproc.results`).
+    kind = "parallel"
+
     def summary(self, routine: str) -> RoutineSummary:
         return self.result.summaries[routine]
+
+    def stats(self) -> Dict[str, object]:
+        """Kind-specific stats: shard plan and pool utilization."""
+        return self.metrics.as_dict()
+
+    def to_json(self, counters=None, include_summaries: bool = False):
+        """The versioned (schema 1) result payload; see
+        :mod:`repro.interproc.results`."""
+        from repro.interproc.results import build_payload
+
+        return build_payload(self, counters, include_summaries)
+
+    def describe(self) -> str:
+        """The human-readable stats block (the CLI text output)."""
+        return self.metrics.render()
 
 
 def resolve_jobs(jobs: Optional[int], config: Optional[AnalysisConfig]) -> int:
@@ -986,7 +1004,7 @@ def analyze_parallel(
     finally:
         scheduler.close()
 
-    result = AnalysisResult(
+    result = SummarySet(
         summaries={name: engine.fresh[name] for name in cfgs}
     )
     return ParallelAnalysis(
@@ -1195,7 +1213,7 @@ def analyze_incremental_parallel(
     summaries = {
         name: engine.fresh.get(name) or cached[name] for name in cfgs
     }
-    result = AnalysisResult(summaries=summaries)
+    result = SummarySet(summaries=summaries)
 
     solved1 = {
         name for shard in phase1_shards

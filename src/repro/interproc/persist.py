@@ -6,7 +6,7 @@ and reloads them while the binary is unchanged.  This module provides
 two sidecar formats:
 
 * **SUM1** — a compact, versioned binary serialization of an
-  :class:`~repro.interproc.summaries.AnalysisResult`, keyed by a
+  :class:`~repro.interproc.summaries.SummarySet`, keyed by a
   fingerprint of the executable image so a stale sidecar is rejected
   wholesale;
 * **SUM2** — the incremental-analysis cache
@@ -81,7 +81,7 @@ from repro.dataflow.regset import FULL_MASK
 from repro.obs.metrics import REGISTRY
 from repro.obs.tracer import span
 from repro.interproc.summaries import (
-    AnalysisResult,
+    SummarySet,
     CallSiteSummary,
     RoutineSummary,
 )
@@ -307,11 +307,11 @@ def _check_fingerprint(fingerprint: int, expected: int) -> None:
 
 
 # ----------------------------------------------------------------------
-# SUM1: plain AnalysisResult sidecar
+# SUM1: plain SummarySet sidecar
 # ----------------------------------------------------------------------
 
 
-def dump_summaries(result: AnalysisResult, fingerprint: int = 0) -> bytes:
+def dump_summaries(result: SummarySet, fingerprint: int = 0) -> bytes:
     """Serialize ``result`` (optionally bound to an image fingerprint)."""
     with span("sidecar.dump", routines=len(result.summaries)):
         writer = _Writer()
@@ -331,7 +331,7 @@ def dump_summaries(result: AnalysisResult, fingerprint: int = 0) -> bytes:
 
 def load_summaries(
     blob: bytes, expected_fingerprint: int = 0
-) -> AnalysisResult:
+) -> SummarySet:
     """Parse a summary sidecar; rejects stale fingerprints.
 
     Pass ``expected_fingerprint=0`` to skip the staleness check (e.g.
@@ -350,7 +350,7 @@ def load_summaries(
     REGISTRY.inc("sidecar.load")
     REGISTRY.inc("sidecar.load_bytes", len(blob))
     _log.debug("loaded SUM1 sidecar: %d routines, %d bytes", len(summaries), len(blob))
-    return AnalysisResult(summaries=summaries)
+    return SummarySet(summaries=summaries)
 
 
 # ----------------------------------------------------------------------
@@ -380,7 +380,7 @@ class SummaryCache:
     """
 
     image_fingerprint: int
-    result: AnalysisResult
+    result: SummarySet
     routine_fingerprints: Dict[str, int] = field(default_factory=dict)
     externally_callable: Set[str] = field(default_factory=set)
     phase1_triples: Dict[str, SummaryTriple] = field(default_factory=dict)
@@ -470,7 +470,7 @@ def load_cache(blob: bytes, expected_fingerprint: int = 0) -> SummaryCache:
     _log.debug("loaded SUM2 cache: %d routines, %d bytes", len(summaries), len(blob))
     return SummaryCache(
         image_fingerprint=fingerprint,
-        result=AnalysisResult(summaries=summaries),
+        result=SummarySet(summaries=summaries),
         routine_fingerprints=routine_fingerprints,
         externally_callable=externally_callable,
         phase1_triples=phase1_triples,

@@ -141,9 +141,29 @@ class RoutineSummary:
             if kind == ExitKind.RETURN
         }
 
+    def to_json(self) -> Dict[str, object]:
+        """The schema-1 JSON rendering of one routine's summary.
+
+        Register sets are sorted name lists and exit blocks are string
+        keys, so the payload round-trips through JSON unchanged; this
+        is the shape both the CLI ``query --json`` output and the
+        daemon's ``summaries`` sections carry.
+        """
+        return {
+            "routine": self.name,
+            "call_used": sorted(self.call_used.names()),
+            "call_defined": sorted(self.call_defined.names()),
+            "call_killed": sorted(self.call_killed.names()),
+            "live_at_entry": sorted(self.live_at_entry.names()),
+            "live_at_exit": {
+                str(block): sorted(RegisterSet.from_mask(mask).names())
+                for block, mask in sorted(self.exit_live_masks.items())
+            },
+        }
+
 
 @dataclass
-class AnalysisResult:
+class SummarySet:
     """Whole-program analysis output: one summary per routine."""
 
     summaries: Dict[str, RoutineSummary]
@@ -160,7 +180,7 @@ class AnalysisResult:
     def routine(self, name: str) -> RoutineSummary:
         return self.summaries[name]
 
-    def equal_summaries(self, other: "AnalysisResult") -> bool:
+    def equal_summaries(self, other: "SummarySet") -> bool:
         """True when both results carry identical dataflow facts.
 
         Used to cross-validate the PSG analysis against the full-CFG
@@ -190,7 +210,7 @@ class AnalysisResult:
                     return False
         return True
 
-    def diff(self, other: "AnalysisResult") -> List[str]:
+    def diff(self, other: "SummarySet") -> List[str]:
         """Human-readable description of summary differences."""
         problems: List[str] = []
         for name in sorted(set(self.summaries) | set(other.summaries)):

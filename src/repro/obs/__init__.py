@@ -25,7 +25,12 @@ from repro.obs.metrics import (
     render_counters,
     render_key,
 )
-from repro.obs.runid import current_run_id, new_run_id, set_run_id
+from repro.obs.runid import (
+    clear_run_id,
+    current_run_id,
+    new_run_id,
+    set_run_id,
+)
 from repro.obs.tracer import (
     Tracer,
     disable as disable_tracing,
@@ -41,6 +46,7 @@ __all__ = [
     "MetricsRegistry",
     "Tracer",
     "configure_logging",
+    "clear_run_id",
     "current_run_id",
     "disable_tracing",
     "enable_tracing",

@@ -51,6 +51,7 @@ parent :meth:`merge`\\ s them (counters add, maxima max).
 
 from __future__ import annotations
 
+import threading
 from typing import Any, Dict, Iterable, List, Mapping, Tuple
 
 #: Canonical key for one time series: ``(name, ((label, value), ...))``
@@ -114,6 +115,12 @@ class MetricsRegistry:
     def __init__(self) -> None:
         self._counters: Dict[MetricKey, float] = {}
         self._maxima: Dict[MetricKey, float] = {}
+        # The service daemon records from concurrent request threads;
+        # a read-modify-write on a dict slot is not atomic, so every
+        # mutation and every multi-item read holds this lock.  The
+        # single-threaded paths (CLI, tests) pay one uncontended
+        # acquire per op.
+        self._lock = threading.RLock()
         #: When true, the phase engines additionally attribute worklist
         #: visits to individual routines
         #: (``solver.routine_iterations``).  Off by default: the
@@ -125,12 +132,14 @@ class MetricsRegistry:
 
     def inc(self, name: str, amount: float = 1, **labels: Any) -> None:
         key = _key(name, labels)
-        self._counters[key] = self._counters.get(key, 0) + amount
+        with self._lock:
+            self._counters[key] = self._counters.get(key, 0) + amount
 
     def observe_max(self, name: str, value: float, **labels: Any) -> None:
         key = _key(name, labels)
-        if value > self._maxima.get(key, float("-inf")):
-            self._maxima[key] = value
+        with self._lock:
+            if value > self._maxima.get(key, float("-inf")):
+                self._maxima[key] = value
 
     # -- reading ------------------------------------------------------
 
@@ -151,7 +160,8 @@ class MetricsRegistry:
 
     def snapshot(self) -> Dict[MetricKey, float]:
         """Counter values now — pair with :meth:`delta_since`."""
-        return dict(self._counters)
+        with self._lock:
+            return dict(self._counters)
 
     def delta_since(self, snapshot: Mapping[MetricKey, float]) -> Dict[str, float]:
         """Per-run view: counter deltas plus current maxima.
@@ -160,24 +170,29 @@ class MetricsRegistry:
         :data:`SEEDED_KEYS` always present (zero when untouched) and
         maxima reported at their cumulative high-water mark.
         """
+        with self._lock:
+            counters = dict(self._counters)
+            maxima = dict(self._maxima)
         out: Dict[str, float] = {}
-        for key, value in self._counters.items():
+        for key, value in counters.items():
             delta = value - snapshot.get(key, 0)
             if delta:
                 out[render_key(key)] = _numeric(delta)
         for key in SEEDED_KEYS:
             out.setdefault(render_key(key), 0)
-        for key, value in self._maxima.items():
+        for key, value in maxima.items():
             out[render_key(key)] = _numeric(value)
         return dict(sorted(out.items()))
 
     def as_dict(self) -> Dict[str, float]:
         """Every series, cumulative, keyed by rendered name."""
+        with self._lock:
+            counters = dict(self._counters)
+            maxima = dict(self._maxima)
         out = {
-            render_key(key): _numeric(value)
-            for key, value in self._counters.items()
+            render_key(key): _numeric(value) for key, value in counters.items()
         }
-        for key, value in self._maxima.items():
+        for key, value in maxima.items():
             out[render_key(key)] = _numeric(value)
         return dict(sorted(out.items()))
 
@@ -185,15 +200,23 @@ class MetricsRegistry:
 
     def collect(self, clear: bool = False) -> MetricsPayload:
         """Detach a payload for the result pipe (worker side)."""
-        payload = (list(self._counters.items()), list(self._maxima.items()))
-        if clear:
-            self._counters = {}
-            self._maxima = {}
+        with self._lock:
+            payload = (
+                list(self._counters.items()),
+                list(self._maxima.items()),
+            )
+            if clear:
+                self._counters = {}
+                self._maxima = {}
         return payload
 
     def merge(self, payload: MetricsPayload) -> None:
         """Absorb a worker payload: counters add, maxima max."""
         counters, maxima = payload
+        with self._lock:
+            self._merge_locked(counters, maxima)
+
+    def _merge_locked(self, counters, maxima) -> None:
         for key, value in counters:
             key = (key[0], tuple(tuple(pair) for pair in key[1]))
             self._counters[key] = self._counters.get(key, 0) + value
@@ -204,8 +227,9 @@ class MetricsRegistry:
 
     def reset(self) -> None:
         """Drop everything (worker init after fork; tests)."""
-        self._counters = {}
-        self._maxima = {}
+        with self._lock:
+            self._counters = {}
+            self._maxima = {}
 
 
 REGISTRY = MetricsRegistry()

@@ -22,18 +22,13 @@ from repro.opt.dce import eliminate_dead_code
 from repro.opt.deadstore import eliminate_dead_stores
 from repro.opt.spill import remove_call_spills
 from repro.opt.realloc import reallocate_callee_saved
-from repro.opt.pipeline import (
-    OptimizationReport,
-    OptimizationResult,
-    optimize_program,
-)
+from repro.opt.pipeline import OptimizationReport, OptimizationResult
 
 __all__ = [
     "OptimizationReport",
     "OptimizationResult",
     "eliminate_dead_code",
     "eliminate_dead_stores",
-    "optimize_program",
     "reallocate_callee_saved",
     "remove_call_spills",
 ]

@@ -187,27 +187,3 @@ def _optimize_program(
     return result
 
 
-def optimize_program(
-    program: Program,
-    passes: Sequence[str] = PASS_NAMES,
-    config: Optional[AnalysisConfig] = None,
-    verify: bool = False,
-    max_steps: int = 5_000_000,
-) -> OptimizationResult:
-    """Deprecated free-function entry point.
-
-    Use ``repro.api.AnalysisSession.from_program(program).optimize()``.
-    """
-    warnings.warn(
-        "optimize_program() is deprecated; use "
-        "repro.api.AnalysisSession.from_program(program).optimize()",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    return _optimize_program(
-        program,
-        passes=passes,
-        config=config,
-        verify=verify,
-        max_steps=max_steps,
-    )

@@ -51,13 +51,13 @@ from repro.isa.registers import NUM_INTEGER_REGISTERS
 from repro.cfg.callgraph import CallGraph
 from repro.cfg.cfg import ControlFlowGraph, ExitKind
 from repro.interproc.savedregs import SaveRestoreSites, find_save_restore_sites
-from repro.interproc.summaries import AnalysisResult, RoutineSummary
+from repro.interproc.summaries import SummarySet, RoutineSummary
 from repro.program.rewrite import Edits
 
 
 def reallocate_callee_saved(
     call_graph: CallGraph,
-    analysis: AnalysisResult,
+    analysis: SummarySet,
     convention: CallingConvention,
 ) -> Edits:
     """Whole-program reallocation; returns rewrite edits per routine."""

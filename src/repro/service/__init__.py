@@ -1,0 +1,41 @@
+"""``repro.service`` — the analysis-as-a-service daemon.
+
+A long-running HTTP front door over :class:`repro.api.AnalysisSession`:
+post an executable image, get back the same versioned schema-1 result
+payload the CLI ``--json`` flag prints, with the session (and its
+warm-start caches) retained server-side so repeated and incremental
+requests skip the cold front end.  See ``docs/service.md`` and
+:mod:`repro.service.daemon` for the endpoint reference.
+"""
+
+from repro.service.client import Response, ServiceClient, ServiceError
+from repro.service.daemon import (
+    AnalysisDaemon,
+    RequestError,
+    ServiceConfig,
+    serve,
+)
+from repro.service.registry import (
+    DEFAULT_MAX_BYTES,
+    DEFAULT_TENANT,
+    SessionEntry,
+    SessionRegistry,
+    TenantError,
+    validate_tenant,
+)
+
+__all__ = [
+    "AnalysisDaemon",
+    "DEFAULT_MAX_BYTES",
+    "DEFAULT_TENANT",
+    "RequestError",
+    "Response",
+    "ServiceClient",
+    "ServiceConfig",
+    "ServiceError",
+    "SessionEntry",
+    "SessionRegistry",
+    "TenantError",
+    "serve",
+    "validate_tenant",
+]

@@ -1,0 +1,485 @@
+"""The analysis daemon: ``repro.api`` behind a long-running HTTP API.
+
+Spike's cold analysis of a gcc-shape image is front-end dominated
+(decode, CFG build, PSG construction); an optimizer driver that
+re-execs per request pays that cost every time.  The daemon keeps
+:class:`~repro.api.AnalysisSession` state warm between requests —
+retained payloads for unchanged images, SUM2 caches for edits, memoized
+query front-ends — behind one versioned result API (the same schema-1
+payloads the CLI ``--json`` flag prints; see
+:mod:`repro.interproc.results`).
+
+Endpoints::
+
+    GET  /healthz      liveness ("ok", or "draining" + 503 during
+                       shutdown)
+    GET  /metricsz     cumulative obs-registry counters + registry
+                       occupancy
+    POST /v1/analyze   whole-program analysis of a posted image
+    POST /v1/query     one-routine demand query (solves only the
+                       dependency cones)
+
+``POST`` bodies are either raw image bytes
+(``Content-Type: application/octet-stream``, options in the query
+string) or JSON (``{"image_b64": ..., ...options}``).  Options:
+``jobs`` (worker count), ``include_summaries`` (embed rendered
+summaries), ``edit`` (``{"routine": name}`` — analyze the image with
+one instruction of ``routine`` perturbed, warm-starting from the base
+image's SUM2 cache; the routine defaults to the first editable one),
+and for ``/v1/query`` the mandatory ``routine``.
+
+Multi-tenancy: the ``X-Repro-Tenant`` header namespaces all retained
+state (see :mod:`repro.service.registry`).  Responses carry
+``X-Repro-Run-Id`` (the request's trace/log correlation id),
+``X-Repro-Warm`` (``hit`` when served from retained state) and
+``X-Repro-Schema``.
+
+Concurrency: a threading HTTP server; requests against the same image
+serialize on the entry lock, requests against different images solve
+concurrently.  ``SIGTERM``/``SIGINT`` drain gracefully — in-flight
+requests complete, new ones get 503.
+"""
+
+from __future__ import annotations
+
+import base64
+import binascii
+import json
+import logging
+import os
+import signal
+import socket
+import threading
+from dataclasses import dataclass
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional, Tuple
+from urllib.parse import parse_qsl, urlsplit
+
+from repro.api import (
+    AnalysisConfig,
+    AnalysisError,
+    AnalysisSession,
+    SCHEMA_VERSION,
+    UnknownRoutineError,
+)
+from repro.obs import REGISTRY, clear_run_id, new_run_id, span
+from repro.program.image import ImageFormatError
+from repro.service.registry import (
+    DEFAULT_MAX_BYTES,
+    SessionEntry,
+    SessionRegistry,
+    TenantError,
+    validate_tenant,
+)
+from repro.workloads.mutate import first_editable_routine, perturb_routine
+
+_log = logging.getLogger(__name__)
+
+#: Reject request bodies beyond this size before reading them fully.
+DEFAULT_MAX_REQUEST_BYTES = 64 * 1024 * 1024
+
+
+class RequestError(Exception):
+    """A client error with an HTTP status code."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+@dataclass
+class ServiceConfig:
+    """Daemon configuration (the ``spike-analyze serve`` flags)."""
+
+    host: str = "127.0.0.1"
+    port: int = 8484
+    #: When set, serve HTTP over this unix domain socket instead of TCP.
+    socket_path: Optional[str] = None
+    #: Directory for per-tenant SUM2 sidecars (disabled when ``None``).
+    cache_dir: Optional[str] = None
+    #: Registry byte budget for retained sessions (LRU beyond it).
+    max_bytes: int = DEFAULT_MAX_BYTES
+    max_request_bytes: int = DEFAULT_MAX_REQUEST_BYTES
+    #: Default worker count for solves (per-request ``jobs`` overrides).
+    jobs: Optional[int] = None
+
+
+class _UnixHTTPServer(ThreadingHTTPServer):
+    """HTTP over an ``AF_UNIX`` stream socket (CI smoke, local IPC)."""
+
+    address_family = socket.AF_UNIX
+
+    def server_bind(self) -> None:
+        path = self.server_address
+        if isinstance(path, str) and os.path.exists(path):
+            os.unlink(path)
+        self.socket.bind(path)
+        # HTTPServer.server_bind derives these from an AF_INET
+        # getsockname; give the handler sane values for a path address.
+        self.server_name = "localhost"
+        self.server_port = 0
+
+    def get_request(self) -> Tuple[socket.socket, Any]:
+        request, _ = self.socket.accept()
+        # BaseHTTPRequestHandler formats client_address[0] into log
+        # lines; AF_UNIX peers have no address, so fake a pair.
+        return request, ("unix", 0)
+
+
+class AnalysisDaemon:
+    """The registry, the HTTP server, and the drain protocol."""
+
+    def __init__(self, config: Optional[ServiceConfig] = None) -> None:
+        self.config = config or ServiceConfig()
+        analysis_config = None
+        if self.config.jobs is not None:
+            analysis_config = AnalysisConfig(jobs=self.config.jobs)
+        self.registry = SessionRegistry(
+            max_bytes=self.config.max_bytes,
+            cache_dir=self.config.cache_dir,
+            config=analysis_config,
+        )
+        self._draining = threading.Event()
+        self.server = self._build_server()
+
+    # -- lifecycle -----------------------------------------------------
+
+    def _build_server(self):
+        daemon = self
+
+        class Handler(_Handler):
+            pass
+
+        Handler.daemon = daemon
+        if self.config.socket_path:
+            server = _UnixHTTPServer(self.config.socket_path, Handler)
+        else:
+            server = ThreadingHTTPServer(
+                (self.config.host, self.config.port), Handler
+            )
+        # Drain semantics: server_close() must wait for in-flight
+        # handler threads rather than abandon them mid-solve.
+        server.daemon_threads = False
+        server.block_on_close = True
+        return server
+
+    @property
+    def address(self) -> str:
+        """Where the daemon is reachable (host:port or socket path)."""
+        if self.config.socket_path:
+            return self.config.socket_path
+        host, port = self.server.server_address[:2]
+        return f"{host}:{port}"
+
+    @property
+    def draining(self) -> bool:
+        return self._draining.is_set()
+
+    def serve_forever(self, install_signal_handlers: bool = False) -> None:
+        """Serve until :meth:`drain` (or a signal) stops the loop.
+
+        Signal handlers can only be installed from the main thread;
+        tests run the daemon on a worker thread and call :meth:`drain`
+        directly.
+        """
+        if install_signal_handlers:
+            for signum in (signal.SIGTERM, signal.SIGINT):
+                signal.signal(signum, self._handle_signal)
+        _log.info("analysis daemon serving on %s", self.address)
+        try:
+            self.server.serve_forever(poll_interval=0.1)
+        finally:
+            self.server.server_close()
+            if self.config.socket_path:
+                try:
+                    os.unlink(self.config.socket_path)
+                except OSError:
+                    pass
+            _log.info("analysis daemon stopped")
+
+    def _handle_signal(self, signum, frame) -> None:
+        _log.info("signal %d: draining", signum)
+        self.drain()
+
+    def drain(self) -> None:
+        """Stop accepting work; let in-flight requests finish.
+
+        Idempotent.  ``serve_forever`` returns once the accept loop
+        stops; ``server_close`` then joins the handler threads.
+        """
+        if self._draining.is_set():
+            return
+        self._draining.set()
+        # shutdown() blocks until serve_forever exits — never call it
+        # from a handler thread directly.
+        threading.Thread(target=self.server.shutdown, daemon=True).start()
+
+    # -- request handling ----------------------------------------------
+
+    def handle_analyze(
+        self, tenant: str, body: Dict[str, Any]
+    ) -> Tuple[Dict[str, object], bool]:
+        """``POST /v1/analyze`` → (payload, served-warm)."""
+        image_bytes = _image_bytes(body)
+        jobs = _jobs_option(body)
+        entry = self.registry.acquire(tenant, image_bytes)
+        edit = body.get("edit")
+        with entry.lock:
+            if edit is not None:
+                return self._analyze_edit(entry, edit, jobs)
+            if entry.payload is not None:
+                REGISTRY.inc("service.result.warm")
+                return entry.payload, True
+            with span("service.analyze", tenant=tenant):
+                entry.session.analyze(jobs=jobs)
+                # Retained with summaries embedded; the handler strips
+                # them unless the request asked for them.
+                entry.payload = entry.session.to_json(include_summaries=True)
+            REGISTRY.inc("service.result.cold")
+            return entry.payload, False
+
+    def _analyze_edit(
+        self, entry: SessionEntry, edit: Any, jobs: Optional[int]
+    ) -> Tuple[Dict[str, object], bool]:
+        """Analyze the entry's image with one routine perturbed,
+        warm-starting from the base image's SUM2 cache."""
+        if not isinstance(edit, dict):
+            raise RequestError(400, "edit must be an object")
+        warm = entry.cache is not None
+        if not warm:
+            # One-time: build the base cache a future edit warms from.
+            with span("service.edit.seed"):
+                cold = entry.session.analyze_incremental(jobs=jobs)
+                self.registry.note_cache(entry, cold.cache)
+        program = entry.session.program
+        routine = edit.get("routine")
+        try:
+            if routine is None:
+                routine = first_editable_routine(program)
+            mutated = perturb_routine(program, routine)
+        except (KeyError, ValueError) as error:
+            raise RequestError(400, f"cannot apply edit: {error}") from error
+        with span("service.edit.analyze", routine=routine):
+            session = AnalysisSession.from_program(
+                mutated, self.registry.config
+            )
+            session.analyze_incremental(cache=entry.cache, jobs=jobs)
+            payload = session.to_json(include_summaries=True)
+        REGISTRY.inc("service.result.warm" if warm else "service.result.cold")
+        return payload, warm
+
+    def handle_query(
+        self, tenant: str, body: Dict[str, Any]
+    ) -> Tuple[Dict[str, object], bool]:
+        """``POST /v1/query`` → (payload, served-warm)."""
+        image_bytes = _image_bytes(body)
+        routine = body.get("routine")
+        if not isinstance(routine, str) or not routine:
+            raise RequestError(400, "missing routine name")
+        entry = self.registry.acquire(tenant, image_bytes)
+        with entry.lock:
+            # The session memoizes its query cache and front-end, so a
+            # second query on a retained session skips the cold setup.
+            warm = entry.session.has_query_state
+            with span("service.query", tenant=tenant, routine=routine):
+                entry.session.query(routine)
+                payload = entry.session.to_json(include_summaries=True)
+        REGISTRY.inc("service.result.warm" if warm else "service.result.cold")
+        return payload, warm
+
+    def metrics_payload(self) -> Dict[str, object]:
+        return {
+            "counters": REGISTRY.as_dict(),
+            "registry": self.registry.stats(),
+            "draining": self.draining,
+        }
+
+
+# ----------------------------------------------------------------------
+# Option parsing
+# ----------------------------------------------------------------------
+
+
+def _image_bytes(body: Dict[str, Any]) -> bytes:
+    raw = body.get("image_bytes")
+    if isinstance(raw, bytes):
+        return raw
+    encoded = body.get("image_b64")
+    if not isinstance(encoded, str):
+        raise RequestError(400, "missing image: supply image_b64")
+    try:
+        return base64.b64decode(encoded, validate=True)
+    except (binascii.Error, ValueError) as error:
+        raise RequestError(400, f"invalid image_b64: {error}") from error
+
+
+def _jobs_option(body: Dict[str, Any]) -> Optional[int]:
+    jobs = body.get("jobs")
+    if jobs is None:
+        return None
+    try:
+        return int(jobs)
+    except (TypeError, ValueError) as error:
+        raise RequestError(400, f"invalid jobs value: {jobs!r}") from error
+
+
+def _bool_option(body: Dict[str, Any], key: str) -> bool:
+    value = body.get(key, False)
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, str):
+        return value.lower() in ("1", "true", "yes")
+    return bool(value)
+
+
+# ----------------------------------------------------------------------
+# The HTTP layer
+# ----------------------------------------------------------------------
+
+
+class _Handler(BaseHTTPRequestHandler):
+    daemon: AnalysisDaemon
+    protocol_version = "HTTP/1.1"
+    #: Advertised in the Server header; independent of the repo version.
+    server_version = "spike-analysis-daemon/1"
+
+    # -- plumbing ------------------------------------------------------
+
+    def log_message(self, format: str, *args) -> None:
+        _log.debug("%s %s", self.address_string(), format % args)
+
+    def _send_json(
+        self,
+        status: int,
+        payload: Dict[str, object],
+        headers: Optional[Dict[str, str]] = None,
+    ) -> None:
+        blob = json.dumps(payload, indent=2, sort_keys=True).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(blob)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(blob)
+
+    def _read_body(self) -> Dict[str, Any]:
+        """The request body as an options dict.
+
+        Raw image posts become ``{"image_bytes": ...}`` with options
+        merged from the query string; JSON posts are returned as-is.
+        """
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+        except ValueError:
+            raise RequestError(411, "invalid Content-Length")
+        if length <= 0:
+            raise RequestError(411, "a request body is required")
+        if length > self.daemon.config.max_request_bytes:
+            raise RequestError(
+                413,
+                f"request body of {length} bytes exceeds the "
+                f"{self.daemon.config.max_request_bytes} byte limit",
+            )
+        data = self.rfile.read(length)
+        content_type = (self.headers.get("Content-Type") or "").split(";")[0]
+        if content_type == "application/octet-stream":
+            body: Dict[str, Any] = {"image_bytes": data}
+            # keep_blank_values: "?edit=" means "edit the default
+            # routine", and dropping it would silently serve a plain
+            # warm repeat instead.
+            query = dict(
+                parse_qsl(urlsplit(self.path).query, keep_blank_values=True)
+            )
+            if "routine" in query:
+                body["routine"] = query["routine"]
+            if "jobs" in query:
+                body["jobs"] = query["jobs"]
+            if "include_summaries" in query:
+                body["include_summaries"] = query["include_summaries"]
+            if "edit" in query:
+                body["edit"] = {"routine": query["edit"]} \
+                    if query["edit"] not in ("", "1", "true") else {}
+            return body
+        try:
+            body = json.loads(data.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise RequestError(400, f"invalid JSON body: {error}") from error
+        if not isinstance(body, dict):
+            raise RequestError(400, "JSON body must be an object")
+        return body
+
+    def _tenant(self) -> str:
+        return validate_tenant(self.headers.get("X-Repro-Tenant"))
+
+    # -- dispatch ------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server naming)
+        path = urlsplit(self.path).path
+        if path == "/healthz":
+            if self.daemon.draining:
+                self._send_json(503, {"status": "draining"})
+            else:
+                self._send_json(200, {"status": "ok"})
+        elif path == "/metricsz":
+            self._send_json(200, self.daemon.metrics_payload())
+        else:
+            self._send_json(404, {"error": f"unknown path {path}"})
+
+    def do_POST(self) -> None:  # noqa: N802 (http.server naming)
+        path = urlsplit(self.path).path
+        if path not in ("/v1/analyze", "/v1/query"):
+            self._send_json(404, {"error": f"unknown path {path}"})
+            return
+        if self.daemon.draining:
+            self._send_json(503, {"error": "daemon is draining"})
+            return
+        endpoint = path.rsplit("/", 1)[1]
+        REGISTRY.inc("service.requests", endpoint=endpoint)
+        run_id = new_run_id()
+        try:
+            body = self._read_body()
+            tenant = self._tenant()
+            with span("service.request", endpoint=endpoint):
+                if endpoint == "analyze":
+                    payload, warm = self.daemon.handle_analyze(tenant, body)
+                else:
+                    payload, warm = self.daemon.handle_query(tenant, body)
+            if not _bool_option(body, "include_summaries"):
+                payload = {
+                    key: value
+                    for key, value in payload.items()
+                    if key != "summaries"
+                }
+            self._send_json(
+                200,
+                payload,
+                headers={
+                    "X-Repro-Run-Id": run_id,
+                    "X-Repro-Warm": "hit" if warm else "miss",
+                    "X-Repro-Schema": str(SCHEMA_VERSION),
+                },
+            )
+        except RequestError as error:
+            REGISTRY.inc("service.errors", status=error.status)
+            self._send_json(error.status, {"error": str(error)})
+        except (TenantError, ImageFormatError) as error:
+            REGISTRY.inc("service.errors", status=400)
+            self._send_json(400, {"error": str(error)})
+        except UnknownRoutineError as error:
+            REGISTRY.inc("service.errors", status=404)
+            self._send_json(404, {"error": str(error)})
+        except AnalysisError as error:
+            REGISTRY.inc("service.errors", status=500)
+            self._send_json(500, {"error": str(error)})
+        except Exception as error:  # pragma: no cover - last resort
+            _log.exception("unhandled error serving %s", self.path)
+            REGISTRY.inc("service.errors", status=500)
+            self._send_json(500, {"error": f"internal error: {error}"})
+        finally:
+            clear_run_id()
+
+
+def serve(config: Optional[ServiceConfig] = None) -> None:
+    """Build a daemon and serve until SIGTERM/SIGINT (blocking)."""
+    AnalysisDaemon(config).serve_forever(install_signal_handlers=True)

@@ -2,11 +2,8 @@
 
 import pytest
 
-from repro.interproc.analysis import (
-    AnalysisConfig,
-    analyze_image,
-    analyze_program,
-)
+from repro.interproc.analysis import AnalysisConfig
+from tests.facade import analyze_image, analyze_program
 from repro.program.asm import assemble
 from repro.program.rewrite import program_to_image
 from repro.psg.build import PsgConfig

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.interproc.analysis import analyze_program
+from tests.facade import analyze_program
 from repro.program.asm import assemble
 from repro.program.disasm import disassemble_image
 from repro.reporting.annotate import render_annotated_listing

@@ -182,66 +182,60 @@ class TestJobsResolution:
 
 
 # ----------------------------------------------------------------------
-# Deprecated shims: warn, but keep forwarding faithfully
+# The deprecated free functions are gone; the facade is the surface
 # ----------------------------------------------------------------------
 
 
-class TestDeprecatedShims:
-    def test_analyze_program_warns_and_matches(self, quick_program):
-        from repro.interproc.analysis import analyze_program
+class TestShimRemoval:
+    def test_free_functions_are_gone(self):
+        import repro
+        import repro.interproc
+        import repro.interproc.analysis
+        import repro.interproc.incremental
+        import repro.opt
+        import repro.opt.pipeline
 
-        with pytest.deprecated_call():
-            legacy = analyze_program(quick_program)
-        facade = AnalysisSession.from_program(quick_program).analyze()
-        assert dump_summaries(legacy.result) == dump_summaries(
-            facade.result
-        )
+        removed = {
+            repro: ("analyze_program", "analyze_image", "optimize_program"),
+            repro.interproc: ("analyze_program", "analyze_incremental"),
+            repro.interproc.analysis: ("analyze_program", "analyze_image"),
+            repro.interproc.incremental: ("analyze_incremental",),
+            repro.opt: ("optimize_program",),
+            repro.opt.pipeline: ("optimize_program",),
+        }
+        for module, names in removed.items():
+            for name in names:
+                assert not hasattr(module, name), (
+                    f"{module.__name__}.{name} should have been removed"
+                )
 
-    def test_analyze_program_forwards_config(self, quick_program):
-        from repro.interproc.analysis import analyze_program
+    def test_api_all_is_the_stable_surface(self):
+        import repro.api as api
 
-        config = AnalysisConfig(callee_saved_filtering=False)
-        with pytest.deprecated_call():
-            legacy = analyze_program(quick_program, config=config)
-        assert legacy.config is config
+        assert set(api.__all__) == {
+            "AnalysisConfig",
+            "AnalysisError",
+            "AnalysisResult",
+            "AnalysisSession",
+            "JobsConfigError",
+            "QueryResult",
+            "RoutineSummary",
+            "SCHEMA_VERSION",
+            "SummarySet",
+            "UnknownRoutineError",
+            "validate_payload",
+        }
+        for name in api.__all__:
+            assert hasattr(api, name)
 
-    def test_analyze_image_warns_and_matches(self, image):
-        from repro.interproc.analysis import analyze_image
-
-        with pytest.deprecated_call():
-            legacy = analyze_image(image)
-        facade = AnalysisSession.from_image(image).analyze()
-        assert dump_summaries(legacy.result) == dump_summaries(
-            facade.result
-        )
-
-    def test_analyze_incremental_warns_and_forwards(self, quick_program):
-        from repro.interproc.incremental import analyze_incremental
-
-        with pytest.deprecated_call():
-            cold = analyze_incremental(quick_program, image_fingerprint=7)
-        assert cold.cache.image_fingerprint == 7
-        with pytest.deprecated_call():
-            warm = analyze_incremental(quick_program, cache=cold.cache)
-        assert warm.metrics.phase2_solved == 0
-
-    def test_optimize_program_warns_and_forwards(self, quick_program):
-        from repro.opt.pipeline import optimize_program
-
-        with pytest.deprecated_call():
-            result = optimize_program(
-                quick_program, passes=("dce",), verify=True
-            )
-        assert [report.name for report in result.reports] == ["dce"]
-        assert result.behaviour_preserved()
-
-    def test_internal_callers_do_not_warn(self, quick_program):
+    def test_facade_paths_do_not_warn(self, quick_program):
         with warnings.catch_warnings():
             warnings.simplefilter("error", DeprecationWarning)
             session = AnalysisSession.from_program(quick_program)
             session.analyze()
             session.analyze_incremental()
             session.optimize(passes=("dce",))
+            session.to_json()
 
 
 # ----------------------------------------------------------------------

@@ -8,7 +8,8 @@ edge labeling, phase 1 or phase 2 shows up as a summary diff.
 
 import pytest
 
-from repro.interproc.analysis import AnalysisConfig, analyze_program
+from repro.interproc.analysis import AnalysisConfig
+from tests.facade import analyze_program
 from repro.interproc.baseline import analyze_program_baseline
 from repro.psg.build import PsgConfig
 from repro.program.asm import assemble

@@ -208,7 +208,10 @@ class TestJsonFlag:
         self, image_path, tmp_path, capsys
     ):
         out = tmp_path / "a.sum"
-        args = ["analyze", image_path, "--json", "--save-summaries", str(out)]
+        args = [
+            "analyze", image_path, "--json", "--jobs", "1",
+            "--save-summaries", str(out),
+        ]
         assert main(args) == 0
         captured = capsys.readouterr()
         assert "wrote summaries" in captured.err

@@ -3,9 +3,9 @@
 import pytest
 
 from repro.cfg.build import build_cfg
-from repro.interproc.analysis import analyze_program
+from tests.facade import analyze_program
 from repro.opt.deadstore import eliminate_dead_stores
-from repro.opt.pipeline import optimize_program
+from tests.facade import optimize_program
 from repro.program.asm import assemble
 from repro.program.disasm import disassemble_image
 from repro.program.rewrite import apply_edits

@@ -20,14 +20,10 @@ import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.api import AnalysisSession, UnknownRoutineError
-from repro.interproc import (
-    analyze_program,
-    dump_cache,
-    dump_summaries,
-    load_cache,
-)
+from repro.interproc import dump_cache, dump_summaries, load_cache
+from tests.facade import analyze_program
 from repro.interproc.demand import query_routine
-from repro.interproc.summaries import AnalysisResult
+from repro.interproc.summaries import SummarySet
 from repro.isa.instructions import ControlKind
 from repro.isa.registers import ZERO_REGISTER
 from repro.program.asm import assemble
@@ -44,7 +40,7 @@ from repro.workloads.mutate import (
 def _canon(summary) -> bytes:
     """One routine's summary in its canonical wire form — the
     byte-identity the paper-table comparisons rely on."""
-    return dump_summaries(AnalysisResult(summaries={summary.name: summary}))
+    return dump_summaries(SummarySet(summaries={summary.name: summary}))
 
 
 def _generate(bench: str, scale: float = 0.12, seed: int = 5) -> Program:

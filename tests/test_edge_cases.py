@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.interproc.analysis import analyze_program
+from tests.facade import analyze_program
 from repro.interproc.baseline import analyze_program_baseline
 from repro.program.asm import Assembler, AssemblyError, assemble
 from repro.program.disasm import disassemble_image

@@ -39,7 +39,11 @@ def shape_program(name):
 
 def analyze_with(program, core, jobs=1):
     config = AnalysisConfig(solver_core=core, jobs=jobs)
-    return AnalysisSession.from_program(program, config=config).analyze()
+    # jobs passed explicitly: these tests compare per-core solver
+    # counters, which REPRO_JOBS-induced sharding would redistribute.
+    return AnalysisSession.from_program(program, config=config).analyze(
+        jobs=jobs
+    )
 
 
 class TestCoreSelection:

@@ -9,7 +9,7 @@ semantics, dataflow facts and the calling convention's FP roles.
 
 import pytest
 
-from repro.interproc.analysis import analyze_program
+from tests.facade import analyze_program
 from repro.program.asm import assemble
 from repro.program.disasm import disassemble_image
 from repro.sim.interpreter import run_program

@@ -19,7 +19,7 @@ To regenerate after an *intended* semantic change::
 
     python -c "
     from repro.workloads.micro import *
-    from repro.interproc.analysis import analyze_program
+    from tests.facade import analyze_program
     from repro.interproc.persist import dump_summaries
     for name, builder in [('figure1', figure1_program),
                           ('figure2', figure2_program),
@@ -34,7 +34,7 @@ from pathlib import Path
 
 import pytest
 
-from repro.interproc.analysis import analyze_program
+from tests.facade import analyze_program
 from repro.interproc.persist import dump_summaries, load_summaries
 from repro.workloads.micro import (
     figure1_program,

@@ -13,7 +13,7 @@ import pytest
 
 from repro.cfg.build import build_cfg
 from repro.dataflow.regset import RegisterSet, mask_of
-from repro.interproc.analysis import analyze_program
+from tests.facade import analyze_program
 from repro.interproc.baseline import analyze_program_baseline
 from repro.program.asm import Assembler
 from repro.program.disasm import disassemble_image

@@ -16,9 +16,8 @@ The contract under test (see :mod:`repro.interproc.incremental`):
 import pytest
 
 from repro import cli
+from tests.facade import analyze_incremental, analyze_program
 from repro.interproc import (
-    analyze_incremental,
-    analyze_program,
     dump_cache,
     dump_summaries,
     load_cache,

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.interproc.analysis import analyze_program
+from tests.facade import analyze_program
 from repro.program.disasm import disassemble_image
 from repro.program.linker import LinkError, ObjectModule, link_modules
 from repro.sim.interpreter import run_program
@@ -223,7 +223,7 @@ class TestLargerLink:
         program = disassemble_image(link_modules(mods, entry="main"))
         assert run_program(program).outputs == [11]  # 5*2 + 1
         # And the optimizer works on the linked artifact.
-        from repro.opt.pipeline import optimize_program
+        from tests.facade import optimize_program
 
         result = optimize_program(program, verify=True)
         assert result.behaviour_preserved()

@@ -2,9 +2,9 @@
 
 import pytest
 
-from repro.interproc.analysis import analyze_program
+from tests.facade import analyze_program
 from repro.interproc.baseline import analyze_program_baseline
-from repro.opt.pipeline import optimize_program
+from tests.facade import optimize_program
 from repro.sim.interpreter import run_program
 from repro.workloads.micro import (
     figure1_program,

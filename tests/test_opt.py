@@ -3,10 +3,10 @@
 import pytest
 
 from repro.cfg.build import build_cfg
-from repro.interproc.analysis import analyze_program
+from tests.facade import analyze_program
 from repro.isa.instructions import Opcode
 from repro.opt.dce import eliminate_dead_code
-from repro.opt.pipeline import optimize_program
+from tests.facade import optimize_program
 from repro.opt.realloc import reallocate_callee_saved
 from repro.opt.spill import remove_call_spills
 from repro.program.asm import assemble

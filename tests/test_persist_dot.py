@@ -3,7 +3,7 @@
 import pytest
 
 from repro.cfg.build import build_cfg
-from repro.interproc.analysis import analyze_program
+from tests.facade import analyze_program
 from repro.interproc.persist import (
     SummaryFormatError,
     dump_summaries,

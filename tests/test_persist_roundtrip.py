@@ -6,7 +6,7 @@ Three layers of guarantees for ``SUM1`` and ``SUM2``:
   :class:`SummaryFormatError`; no ``struct.error``, ``IndexError`` or
   ``UnicodeDecodeError`` ever escapes the parser;
 * **Hypothesis round-trip** — ``load(dump(r)) == r`` for generated
-  :class:`AnalysisResult`/:class:`SummaryCache` values covering every
+  :class:`SummarySet`/:class:`SummaryCache` values covering every
   exit kind, indirect and hinted sites, empty target tuples, unicode
   routine names, and all-ones masks;
 * **fingerprint strength** — :func:`image_fingerprint` is a genuine
@@ -22,7 +22,7 @@ from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.cfg.cfg import CallSite, ExitKind
 from repro.dataflow.regset import FULL_MASK, TRACKED_MASK
-from repro.interproc.analysis import analyze_program
+from tests.facade import analyze_program
 from repro.interproc.persist import (
     SummaryCache,
     SummaryFormatError,
@@ -34,7 +34,7 @@ from repro.interproc.persist import (
     load_summaries,
 )
 from repro.interproc.summaries import (
-    AnalysisResult,
+    SummarySet,
     CallSiteSummary,
     RoutineSummary,
 )
@@ -52,7 +52,7 @@ def sum1_blob(quick_program):
 
 @pytest.fixture(scope="module")
 def sum2_blob(quick_program):
-    from repro.interproc.incremental import analyze_incremental
+    from tests.facade import analyze_incremental
 
     return dump_cache(analyze_incremental(quick_program).cache)
 
@@ -178,7 +178,7 @@ def _routine_summaries(draw, name):
 @st.composite
 def _analysis_results(draw):
     names = draw(st.lists(_NAMES, unique=True, max_size=4))
-    return AnalysisResult(
+    return SummarySet(
         summaries={name: draw(_routine_summaries(name)) for name in names}
     )
 

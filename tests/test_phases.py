@@ -18,7 +18,7 @@ example abstracts away (ra, sp, v0, ...) do not interfere.
 import pytest
 
 from repro.dataflow.regset import RegisterSet, mask_of
-from repro.interproc.analysis import analyze_program
+from tests.facade import analyze_program
 
 PAPER_REGS = mask_of(["t0", "t1", "t2", "t3"])
 

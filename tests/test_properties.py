@@ -18,9 +18,9 @@ shapes, then checks global invariants:
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.dataflow.regset import RegisterSet, mask_of
-from repro.interproc.analysis import analyze_program
+from tests.facade import analyze_program
 from repro.interproc.baseline import analyze_program_baseline
-from repro.opt.pipeline import optimize_program
+from tests.facade import optimize_program
 from repro.program.disasm import disassemble_image
 from repro.program.rewrite import program_to_image
 from repro.sim.interpreter import run_program

@@ -4,7 +4,7 @@ import time
 
 import pytest
 
-from repro.interproc.analysis import analyze_program
+from tests.facade import analyze_program
 from repro.reporting.memory import (
     DEFAULT_MODEL,
     MemoryModel,

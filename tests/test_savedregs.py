@@ -175,7 +175,7 @@ class TestFilteringEffect:
     def test_saved_register_filtered_from_summary(self):
         """§3.4: the saved/restored register must not appear call-used,
         call-killed or call-defined."""
-        from repro.interproc.analysis import analyze_program
+        from tests.facade import analyze_program
 
         program = disassemble_image(
             assemble(

@@ -1,12 +1,12 @@
-"""Tests for the RoutineSummary / AnalysisResult API."""
+"""Tests for the RoutineSummary / SummarySet API."""
 
 import pytest
 
 from repro.cfg.cfg import CallSite, ExitKind
 from repro.dataflow.regset import mask_of
-from repro.interproc.analysis import analyze_program
+from tests.facade import analyze_program
 from repro.interproc.summaries import (
-    AnalysisResult,
+    SummarySet,
     CallSiteSummary,
     RoutineSummary,
 )
@@ -98,29 +98,29 @@ class TestCallSiteSummary:
         assert site.live_after.names() == {"v0"}
 
 
-class TestAnalysisResult:
+class TestSummarySet:
     def test_container_protocol(self):
-        result = AnalysisResult({"f": _summary()})
+        result = SummarySet({"f": _summary()})
         assert "f" in result
         assert result["f"].name == "f"
         assert result.routine("f") is result["f"]
         assert [s.name for s in result] == ["f"]
 
     def test_equal_summaries_positive(self):
-        a = AnalysisResult({"f": _summary()})
-        b = AnalysisResult({"f": _summary()})
+        a = SummarySet({"f": _summary()})
+        b = SummarySet({"f": _summary()})
         assert a.equal_summaries(b)
         assert a.diff(b) == []
 
     def test_equal_summaries_detects_mask_change(self):
-        a = AnalysisResult({"f": _summary()})
-        b = AnalysisResult({"f": _summary(call_used_mask=mask_of(["a1"]))})
+        a = SummarySet({"f": _summary()})
+        b = SummarySet({"f": _summary(call_used_mask=mask_of(["a1"]))})
         assert not a.equal_summaries(b)
         assert any("call_used" in line for line in a.diff(b))
 
     def test_equal_summaries_detects_missing_routine(self):
-        a = AnalysisResult({"f": _summary()})
-        b = AnalysisResult({})
+        a = SummarySet({"f": _summary()})
+        b = SummarySet({})
         assert not a.equal_summaries(b)
         assert any("missing" in line for line in a.diff(b))
 
@@ -135,14 +135,14 @@ class TestAnalysisResult:
             live_before_mask=mask_of(["t9"]),
             live_after_mask=site.live_after_mask,
         )
-        a = AnalysisResult({"f": _summary()})
-        b = AnalysisResult({"f": _summary(call_sites=[modified])})
+        a = SummarySet({"f": _summary()})
+        b = SummarySet({"f": _summary(call_sites=[modified])})
         assert not a.equal_summaries(b)
         assert any("live_before" in line for line in a.diff(b))
 
     def test_exit_live_difference_detected(self):
-        a = AnalysisResult({"f": _summary()})
-        b = AnalysisResult(
+        a = SummarySet({"f": _summary()})
+        b = SummarySet(
             {"f": _summary(exit_live_masks={2: mask_of(["t2"])})}
         )
         assert not a.equal_summaries(b)

@@ -11,7 +11,7 @@ folds them into a single top-level summary CI can upload and trend
 tooling can diff across PRs::
 
     {
-      "pr": 7,
+      "pr": 8,
       "benches": {
         "<table stem>": {"seconds": <total (s)-column seconds>,
                          "counters": {...obs registry snapshot...}},
@@ -80,8 +80,8 @@ def main(argv: List[str] | None = None) -> int:
         metavar="DIR", help="directory of per-table result JSON files",
     )
     parser.add_argument(
-        "--pr", type=int, default=7, metavar="N",
-        help="PR number recorded in the summary (default: 7)",
+        "--pr", type=int, default=8, metavar="N",
+        help="PR number recorded in the summary (default: 8)",
     )
     parser.add_argument(
         "--out", type=Path, default=None, metavar="FILE",

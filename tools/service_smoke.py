@@ -1,0 +1,159 @@
+#!/usr/bin/env python
+"""End-to-end smoke test of the ``spike-analyze serve`` daemon.
+
+Launches the serve CLI as a real subprocess on a unix socket, posts a
+Table-2 image twice, and checks the full service contract:
+
+* both responses carry a valid schema-1 payload (``validate_payload``);
+* the second POST is served warm — asserted three ways: the
+  ``X-Repro-Warm`` header, byte-identical payloads, and the
+  ``service.session.hit`` / ``service.result.warm`` counters on
+  ``GET /metricsz``;
+* SIGTERM drains the daemon: it exits 0 and the socket is removed.
+
+Usage::
+
+    PYTHONPATH=src python tools/service_smoke.py [--benchmark compress]
+        [--scale 0.1] [--timeout 120]
+
+Exits non-zero with a one-line reason on any contract violation, so CI
+can run it as a single step.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from typing import List
+
+from repro.api import SCHEMA_VERSION, validate_payload
+from repro.service import ServiceClient, ServiceError
+from repro.workloads.generator import GeneratorConfig, generate_image
+from repro.workloads.shapes import shape_by_name
+
+
+def fail(message: str) -> None:
+    print(f"service smoke FAILED: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def wait_for_ready(client: ServiceClient, deadline: float) -> None:
+    while time.monotonic() < deadline:
+        try:
+            response = client.healthz()
+        except (ServiceError, OSError):
+            time.sleep(0.05)
+            continue
+        if response.status == 200:
+            return
+        time.sleep(0.05)
+    fail("daemon did not become healthy before the timeout")
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--benchmark", default="compress",
+        help="Table-2 shape to post (default: compress)",
+    )
+    parser.add_argument(
+        "--scale", type=float, default=0.1,
+        help="shape scale factor (default: 0.1)",
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=120.0,
+        help="overall deadline in seconds (default: 120)",
+    )
+    args = parser.parse_args(argv)
+    deadline = time.monotonic() + args.timeout
+
+    shape = shape_by_name(args.benchmark)
+    if args.scale != 1.0:
+        shape = shape.scaled(args.scale)
+    image_bytes = generate_image(shape, GeneratorConfig()).to_bytes()
+    print(f"image: {args.benchmark} x{args.scale}, {len(image_bytes)} bytes")
+
+    with tempfile.TemporaryDirectory(prefix="service-smoke-") as tmp:
+        socket_path = os.path.join(tmp, "svc.sock")
+        process = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro.cli", "serve",
+                "--socket", socket_path,
+                "--cache-dir", os.path.join(tmp, "cache"),
+            ],
+        )
+        try:
+            client = ServiceClient.unix(socket_path)
+            wait_for_ready(client, deadline)
+
+            cold = client.analyze(image_bytes)
+            if cold.status != 200:
+                fail(f"cold analyze returned {cold.status}: {cold.payload}")
+            if cold.warm:
+                fail("first analyze of a fresh daemon reported warm")
+            try:
+                validate_payload(cold.payload)
+            except ValueError as error:
+                fail(f"cold payload is not valid schema 1: {error}")
+            if cold.payload["schema"] != SCHEMA_VERSION:
+                fail(f"unexpected schema version: {cold.payload['schema']}")
+            print(
+                f"cold: kind={cold.payload['kind']} "
+                f"routines={cold.payload['routines']} "
+                f"digest={cold.payload['summaries_crc64']} "
+                f"run-id={cold.run_id}"
+            )
+
+            warm = client.analyze(image_bytes)
+            if warm.status != 200:
+                fail(f"warm analyze returned {warm.status}: {warm.payload}")
+            if not warm.warm:
+                fail("repeat analyze of the unchanged image was not warm")
+            if warm.payload != cold.payload:
+                fail("warm payload differs from the cold payload")
+            print(f"warm: served retained payload, run-id={warm.run_id}")
+
+            metrics = client.metricsz()
+            counters = metrics["counters"]
+            if counters.get("service.session.hit", 0) < 1:
+                fail(f"no session hit recorded in /metricsz: {counters}")
+            if counters.get("service.result.warm", 0) < 1:
+                fail(f"no warm result recorded in /metricsz: {counters}")
+            sessions = metrics["registry"]["sessions"]
+            if sessions != 1:
+                fail(f"expected exactly one retained session, got {sessions}")
+            print(
+                "metricsz: "
+                + ", ".join(
+                    f"{name}={counters[name]}"
+                    for name in sorted(counters)
+                    if name.startswith("service.")
+                )
+            )
+
+            process.send_signal(signal.SIGTERM)
+            exit_code = process.wait(
+                timeout=max(1.0, deadline - time.monotonic())
+            )
+            if exit_code != 0:
+                fail(f"daemon exited {exit_code} after SIGTERM")
+            if os.path.exists(socket_path):
+                fail("daemon left its socket behind after drain")
+            print("drain: daemon exited 0, socket removed")
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.wait(timeout=10)
+
+    print("service smoke OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
