@@ -1,0 +1,147 @@
+"""Traffic-shaped daemon load: latency quantiles under three engines.
+
+``bench_service.py`` answers "how much faster is a warm repeat"; this
+bench answers the question a service owner actually asks: *what do the
+tails look like under traffic?*  One daemon serves three seeded
+workloads from :mod:`repro.workloads.driver`:
+
+* **uniform** — uniform image/routine choice, mixed analyze/query,
+  a slice of never-seen (cold-tenant) requests;
+* **zipf** — Zipf-skewed popularity (hot images absorb most traffic),
+  bursty open-loop arrivals;
+* **edit-replay** — a recorded optimizer edit trace replayed over one
+  image (incremental warm-start path under a realistic edit stream).
+
+For each workload the table reports client-side throughput and
+p50/p95/p99 (exact order statistics over per-request wall times).  The
+run also cross-checks the server's own view: the summed
+``service.request.seconds`` histogram count must equal the number of
+requests the clients sent — exactly, not approximately — which is the
+invariant that makes the server histograms trustworthy for every later
+scaling claim.
+
+Latency columns are in milliseconds on purpose: the harness sums
+``(s)``-suffixed columns into the bench's wall-clock total, and
+quantiles are not wall clock.
+"""
+
+import threading
+
+import pytest
+
+from benchmarks.conftest import record
+from repro.obs import REGISTRY
+from repro.service import AnalysisDaemon, ServiceClient, ServiceConfig
+from repro.workloads.driver import (
+    EditReplayEngine,
+    ImageSpec,
+    UniformEngine,
+    Workload,
+    ZipfEngine,
+    record_edit_trace,
+)
+
+#: Scaled-down Table-2 images: enough routines for skew to matter,
+#: small enough that the bench completes in seconds.
+LOAD_IMAGES = [("compress", 0.25), ("li", 0.1)]
+REQUESTS = 60
+CONCURRENCY = 4
+
+HEADERS = (
+    "Workload",
+    "Requests",
+    "Errors",
+    "Warm",
+    "Wall (s)",
+    "Throughput (req/s)",
+    "p50 (ms)",
+    "p95 (ms)",
+    "p99 (ms)",
+)
+
+
+def _request_seconds_count() -> int:
+    """The server-side total across every ``service.request.seconds``
+    label combination."""
+    return sum(
+        int(entry["count"])
+        for key, entry in REGISTRY.histograms_dict().items()
+        if key.startswith("service.request.seconds")
+    )
+
+
+def test_load_workloads(benchmark):
+    specs = [
+        ImageSpec.from_benchmark(name, scale=scale, seed=0)
+        for name, scale in LOAD_IMAGES
+    ]
+    daemon = AnalysisDaemon(ServiceConfig(port=0))
+    thread = threading.Thread(target=daemon.serve_forever)
+    thread.start()
+    base_count = _request_seconds_count()
+    try:
+        host, port = daemon.server.server_address[:2]
+
+        def connect(tenant):
+            return ServiceClient.tcp(host, port, tenant=tenant)
+
+        workloads = [
+            Workload(
+                UniformEngine(
+                    specs, seed=11, cold_fraction=0.1, query_fraction=0.4
+                ),
+                count=REQUESTS, concurrency=CONCURRENCY, seed=11,
+            ),
+            Workload(
+                ZipfEngine(specs, seed=22, query_fraction=0.5, skew=1.1),
+                count=REQUESTS, concurrency=CONCURRENCY,
+                rate=400.0, burst_probability=0.25, seed=22,
+            ),
+            Workload(
+                EditReplayEngine(
+                    specs[0], record_edit_trace(specs[0], 16, seed=33)
+                ),
+                count=REQUESTS // 2, concurrency=2, seed=33,
+            ),
+        ]
+
+        def measure():
+            return [workload.run(connect) for workload in workloads]
+
+        reports = benchmark.pedantic(measure, rounds=1, iterations=1)
+    finally:
+        daemon.drain()
+        thread.join(timeout=60)
+
+    sent = sum(report.count for report in reports)
+    served = _request_seconds_count() - base_count
+    # The acceptance invariant: the server's histogram saw exactly the
+    # requests the clients sent — no drops, no double counts.
+    assert served == sent, (served, sent)
+    for report in reports:
+        assert report.errors == 0, report.to_json()
+
+    for report in reports:
+        summary = report.to_json()
+        record(
+            "load",
+            HEADERS,
+            (
+                summary["engine"],
+                summary["requests"],
+                summary["errors"],
+                summary["warm"],
+                f"{summary['wall_seconds']:.3f}",
+                f"{summary['throughput_rps']:.1f}",
+                f"{summary['p50_ms']:.2f}",
+                f"{summary['p95_ms']:.2f}",
+                f"{summary['p99_ms']:.2f}",
+            ),
+            note=(
+                "One daemon, HTTP over loopback, seeded engines "
+                f"({CONCURRENCY}-way concurrent clients). Quantiles are "
+                "client-side order statistics; the server's "
+                "service.request.seconds histogram count is asserted "
+                "equal to requests sent."
+            ),
+        )

@@ -125,6 +125,11 @@ def _table_json(
         ],
         "seconds": _table_seconds(headers, rows),
         "counters": REGISTRY.as_dict(),
+        # Latency distributions recorded during the bench (empty for
+        # the pure-solver tables; populated by the service/load
+        # benches).  Quantiles ride into BENCH_<pr>.json via
+        # tools/bench_summary.py.
+        "histograms": REGISTRY.histograms_dict(),
     }
 
 

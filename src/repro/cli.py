@@ -560,6 +560,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         cache_dir=args.cache_dir,
         max_bytes=args.max_bytes,
         jobs=args.jobs,
+        trace_dir=args.trace_dir,
+        trace_sample=args.trace_sample,
     )
     try:
         serve(config)
@@ -789,6 +791,18 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "-j", "--jobs", type=int, default=None, metavar="N",
         help="default worker count for solves (per-request jobs wins)",
+    )
+    serve.add_argument(
+        "--trace-dir", default=None, metavar="DIR",
+        help=(
+            "sample per-request Perfetto traces to DIR/<run-id>.json "
+            "(see --trace-sample; clients can always request a trace "
+            "inline with the X-Repro-Trace: 1 header)"
+        ),
+    )
+    serve.add_argument(
+        "--trace-sample", type=int, default=10, metavar="N",
+        help="with --trace-dir, capture 1 in N requests (default 10)",
     )
     serve.set_defaults(func=_cmd_serve)
     return parser

@@ -140,6 +140,9 @@ class _ProcessState:
             return
         REGISTRY.reset()
         self.regset_base = construction_count()
+        # A fork from a daemon request thread inherits that thread's
+        # request-local tracer; its buffer belongs to the parent.
+        obs_tracer.clear_local_tracer()
         if trace_enabled:
             obs_tracer.enable(run_id=run_id)
         else:

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import os as _os
 
+from repro.obs.hist import DEFAULT_BUCKETS, Histogram
 from repro.obs.log import ENV_VAR, configure_logging, resolve_level
 from repro.obs.metrics import (
     REGISTRY,
@@ -25,6 +26,7 @@ from repro.obs.metrics import (
     render_counters,
     render_key,
 )
+from repro.obs.prometheus import render_prometheus
 from repro.obs.runid import (
     clear_run_id,
     current_run_id,
@@ -41,7 +43,9 @@ from repro.obs.tracer import (
 )
 
 __all__ = [
+    "DEFAULT_BUCKETS",
     "ENV_VAR",
+    "Histogram",
     "REGISTRY",
     "MetricsRegistry",
     "Tracer",
@@ -54,6 +58,7 @@ __all__ = [
     "new_run_id",
     "render_counters",
     "render_key",
+    "render_prometheus",
     "resolve_level",
     "set_run_id",
     "span",

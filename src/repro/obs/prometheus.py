@@ -1,0 +1,127 @@
+"""Prometheus text exposition for the metrics registry.
+
+``/metricsz`` speaks JSON by default; this module renders the same
+registry state in the `Prometheus text format
+<https://prometheus.io/docs/instrumenting/exposition_formats/>`_ so a
+standard scraper (or ``tools/validate_prometheus.py`` in CI) can
+consume it:
+
+* counters → ``# TYPE <name> counter`` samples,
+* maxima → ``# TYPE <name> gauge`` samples (a high-water mark is not
+  monotonic across restarts, so gauge is the honest type),
+* histograms → the canonical ``_bucket``/``_sum``/``_count`` triplet
+  with cumulative, ``le``-ordered buckets ending in ``+Inf``.
+
+Metric names are sanitized (dots and other invalid characters become
+underscores — ``solver.iterations`` is exposed as
+``solver_iterations``); label *names* get the same treatment and label
+*values* are escaped per the spec (backslash, double-quote, newline).
+Rendering reads one frozen :meth:`~repro.obs.metrics.MetricsRegistry.dump`
+so a concurrent request thread can never tear a sample family.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, Iterable, List, Tuple
+
+from repro.obs.hist import Histogram
+from repro.obs.metrics import REGISTRY, MetricKey, MetricsRegistry
+
+_NAME_OK = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_NAME_BAD_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
+_LABEL_BAD_CHARS = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def sanitize_metric_name(name: str) -> str:
+    """Map a registry series name onto the Prometheus grammar."""
+    out = _NAME_BAD_CHARS.sub("_", name)
+    if not out or not _NAME_OK.match(out):
+        out = "_" + out
+    return out
+
+
+def sanitize_label_name(name: str) -> str:
+    out = _LABEL_BAD_CHARS.sub("_", name)
+    if not out or out[0].isdigit():
+        out = "_" + out
+    return out
+
+
+def escape_label_value(value: str) -> str:
+    """Backslash-escape ``\\``, ``"`` and newline, per the spec."""
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _format_value(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
+    as_int = int(value)
+    if as_int == value:
+        return str(as_int)
+    return repr(value)
+
+
+def _labels_text(labels: Iterable[Tuple[str, str]]) -> str:
+    parts = [
+        f'{sanitize_label_name(label)}="{escape_label_value(str(value))}"'
+        for label, value in labels
+    ]
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def _grouped(
+    store: Dict[MetricKey, object],
+) -> Dict[str, List[Tuple[Tuple[Tuple[str, str], ...], object]]]:
+    """Group series by sanitized metric name (one TYPE line per family),
+    sorted for deterministic output."""
+    families: Dict[str, List] = {}
+    for (name, labels), value in sorted(store.items()):
+        families.setdefault(sanitize_metric_name(name), []).append(
+            (labels, value)
+        )
+    return dict(sorted(families.items()))
+
+
+def _render_scalar_family(
+    lines: List[str], name: str, kind: str, series: List
+) -> None:
+    lines.append(f"# TYPE {name} {kind}")
+    for labels, value in series:
+        lines.append(f"{name}{_labels_text(labels)} {_format_value(value)}")
+
+
+def _render_histogram_family(
+    lines: List[str], name: str, series: List[Tuple[tuple, Histogram]]
+) -> None:
+    lines.append(f"# TYPE {name} histogram")
+    for labels, hist in series:
+        for bound, cumulative_count in hist.cumulative():
+            le = (
+                "+Inf" if bound == float("inf") else _format_value(bound)
+            )
+            bucket_labels = tuple(labels) + (("le", le),)
+            lines.append(
+                f"{name}_bucket{_labels_text(bucket_labels)} "
+                f"{cumulative_count}"
+            )
+        lines.append(f"{name}_sum{_labels_text(labels)} {repr(hist.sum)}")
+        lines.append(f"{name}_count{_labels_text(labels)} {hist.count}")
+
+
+def render_prometheus(registry: MetricsRegistry = None) -> str:
+    """The whole registry as Prometheus text exposition (trailing
+    newline included, as scrapers expect)."""
+    counters, maxima, histograms = (registry or REGISTRY).dump()
+    lines: List[str] = []
+    for name, series in _grouped(counters).items():
+        _render_scalar_family(lines, name, "counter", series)
+    for name, series in _grouped(maxima).items():
+        _render_scalar_family(lines, name, "gauge", series)
+    for name, series in _grouped(histograms).items():
+        _render_histogram_family(lines, name, series)
+    return "\n".join(lines) + "\n" if lines else ""

@@ -203,13 +203,52 @@ class Tracer:
 
 _TRACER = Tracer(enabled=False)
 
+# Per-thread tracer override.  The service daemon handles concurrent
+# requests on separate threads and offers opt-in per-request tracing
+# (``X-Repro-Trace: 1``); a single process-wide tracer would interleave
+# every in-flight request's spans.  A request thread pushes its own
+# tracer here and every ``span()``/``get_tracer()``/``is_enabled()``
+# call on that thread uses it — including the solver internals, which
+# never know they are inside a request.  Worker subprocesses forked
+# from a request thread would inherit the slot, so
+# ``parallel.reset_obs`` clears it (the worker's spans travel through
+# the result pipe and are merged into the request tracer by the
+# requesting thread itself).
+_LOCAL = threading.local()
+
+
+def push_local_tracer(tracer: Optional[Tracer] = None) -> Tracer:
+    """Install a per-thread tracer override (request-scoped tracing).
+
+    Returns the installed tracer (a fresh enabled one by default).
+    Pair with :func:`pop_local_tracer` in a ``finally``.
+    """
+    if tracer is None:
+        tracer = Tracer(enabled=True)
+    _LOCAL.tracer = tracer
+    return tracer
+
+
+def pop_local_tracer() -> Optional[Tracer]:
+    """Remove and return this thread's tracer override, if any."""
+    tracer = getattr(_LOCAL, "tracer", None)
+    _LOCAL.tracer = None
+    return tracer
+
+
+def clear_local_tracer() -> None:
+    """Drop any inherited override (forked-worker initialisation)."""
+    _LOCAL.tracer = None
+
 
 def get_tracer() -> Tracer:
-    return _TRACER
+    local = getattr(_LOCAL, "tracer", None)
+    return local if local is not None else _TRACER
 
 
 def is_enabled() -> bool:
-    return _TRACER.enabled
+    local = getattr(_LOCAL, "tracer", None)
+    return local.enabled if local is not None else _TRACER.enabled
 
 
 def enable(run_id: Optional[str] = None) -> Tracer:
@@ -239,9 +278,10 @@ def span(name: str, **args: Any) -> Union[_Span, _NullSpan]:
     """Open a span on the process-wide tracer.
 
     This is the instrumentation entry point used throughout the
-    pipeline; when tracing is disabled it costs one attribute check.
+    pipeline; when tracing is disabled it costs one thread-local
+    lookup and one attribute check.
     """
-    tracer = _TRACER
+    tracer = getattr(_LOCAL, "tracer", None) or _TRACER
     if not tracer.enabled:
         return NULL_SPAN
     return _Span(tracer, name, args)

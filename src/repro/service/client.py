@@ -106,16 +106,21 @@ class ServiceClient:
         path: str,
         body: Optional[Dict[str, Any]] = None,
         raise_on_error: bool = True,
+        headers: Optional[Dict[str, str]] = None,
     ) -> Response:
         connection = self._connection()
-        headers = {"Content-Type": "application/json"}
+        request_headers = {"Content-Type": "application/json"}
         if self.tenant is not None:
-            headers["X-Repro-Tenant"] = self.tenant
+            request_headers["X-Repro-Tenant"] = self.tenant
+        if headers:
+            request_headers.update(headers)
         data = None
         if body is not None:
             data = json.dumps(body).encode("utf-8")
         try:
-            connection.request(method, path, body=data, headers=headers)
+            connection.request(
+                method, path, body=data, headers=request_headers
+            )
             raw = connection.getresponse()
             blob = raw.read()
             response = Response(
@@ -135,8 +140,27 @@ class ServiceClient:
     def healthz(self) -> Response:
         return self.request("GET", "/healthz", raise_on_error=False)
 
-    def metricsz(self) -> Dict[str, Any]:
-        return self.request("GET", "/metricsz").payload
+    def metricsz(self, include_histograms: bool = False) -> Dict[str, Any]:
+        path = "/metricsz"
+        if include_histograms:
+            path += "?include=histograms"
+        return self.request("GET", path).payload
+
+    def metricsz_prometheus(self) -> str:
+        """The ``/metricsz`` Prometheus text exposition, verbatim."""
+        connection = self._connection()
+        try:
+            connection.request(
+                "GET", "/metricsz?format=prometheus",
+                headers={"Accept": "text/plain"},
+            )
+            raw = connection.getresponse()
+            blob = raw.read()
+            if raw.status >= 400:
+                raise ServiceError(raw.status, blob.decode("utf-8", "replace"))
+            return blob.decode("utf-8")
+        finally:
+            connection.close()
 
     def analyze(
         self,
@@ -144,6 +168,7 @@ class ServiceClient:
         edit: Optional[Dict[str, Any]] = None,
         jobs: Optional[int] = None,
         include_summaries: bool = False,
+        trace: bool = False,
     ) -> Response:
         body: Dict[str, Any] = {
             "image_b64": base64.b64encode(image_bytes).decode("ascii")
@@ -154,13 +179,17 @@ class ServiceClient:
             body["jobs"] = jobs
         if include_summaries:
             body["include_summaries"] = True
-        return self.request("POST", "/v1/analyze", body)
+        return self.request(
+            "POST", "/v1/analyze", body,
+            headers={"X-Repro-Trace": "1"} if trace else None,
+        )
 
     def query(
         self,
         image_bytes: bytes,
         routine: str,
         include_summaries: bool = False,
+        trace: bool = False,
     ) -> Response:
         body: Dict[str, Any] = {
             "image_b64": base64.b64encode(image_bytes).decode("ascii"),
@@ -168,4 +197,7 @@ class ServiceClient:
         }
         if include_summaries:
             body["include_summaries"] = True
-        return self.request("POST", "/v1/query", body)
+        return self.request(
+            "POST", "/v1/query", body,
+            headers={"X-Repro-Trace": "1"} if trace else None,
+        )

@@ -12,12 +12,24 @@ payloads the CLI ``--json`` flag prints; see
 Endpoints::
 
     GET  /healthz      liveness ("ok", or "draining" + 503 during
-                       shutdown)
+                       shutdown) plus uptime, in-flight request count,
+                       and retained-session count/bytes
     GET  /metricsz     cumulative obs-registry counters + registry
-                       occupancy
+                       occupancy; ``?include=histograms`` adds the
+                       latency distributions; ``?format=prometheus``
+                       (or ``Accept: text/plain``) switches to
+                       Prometheus text exposition
     POST /v1/analyze   whole-program analysis of a posted image
     POST /v1/query     one-routine demand query (solves only the
                        dependency cones)
+
+Every POST is measured into ``service.request.seconds{endpoint=,warm=}``
+(plus queue-wait and solve-stage sub-histograms), logged as one
+structured ``repro.service.access`` line stamped with the request's run
+id, and — with ``X-Repro-Trace: 1`` — traced: the response payload
+gains a ``trace`` key holding the request's Perfetto span JSON.  With
+``--trace-dir`` the daemon additionally samples 1-in-N requests' traces
+to disk.
 
 ``POST`` bodies are either raw image bytes
 (``Content-Type: application/octet-stream``, options in the query
@@ -50,6 +62,8 @@ import os
 import signal
 import socket
 import threading
+import time
+from contextlib import contextmanager
 from dataclasses import dataclass
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Optional, Tuple
@@ -63,6 +77,8 @@ from repro.api import (
     UnknownRoutineError,
 )
 from repro.obs import REGISTRY, clear_run_id, new_run_id, span
+from repro.obs.prometheus import render_prometheus
+from repro.obs.tracer import pop_local_tracer, push_local_tracer
 from repro.program.image import ImageFormatError
 from repro.service.registry import (
     DEFAULT_MAX_BYTES,
@@ -74,6 +90,12 @@ from repro.service.registry import (
 from repro.workloads.mutate import first_editable_routine, perturb_routine
 
 _log = logging.getLogger(__name__)
+
+#: One structured line per request (see ``docs/service.md``): run id,
+#: verb/path, tenant, status, warm verdict, wall milliseconds, response
+#: bytes, and the in-flight depth at completion.  Separate from the
+#: module logger so operators can route/flush access lines on their own.
+_access_log = logging.getLogger("repro.service.access")
 
 #: Reject request bodies beyond this size before reading them fully.
 DEFAULT_MAX_REQUEST_BYTES = 64 * 1024 * 1024
@@ -102,6 +124,10 @@ class ServiceConfig:
     max_request_bytes: int = DEFAULT_MAX_REQUEST_BYTES
     #: Default worker count for solves (per-request ``jobs`` overrides).
     jobs: Optional[int] = None
+    #: When set, 1-in-``trace_sample`` requests export their Perfetto
+    #: span JSON to ``<trace_dir>/<run_id>.json``.
+    trace_dir: Optional[str] = None
+    trace_sample: int = 10
 
 
 class _UnixHTTPServer(ThreadingHTTPServer):
@@ -140,6 +166,15 @@ class AnalysisDaemon:
             config=analysis_config,
         )
         self._draining = threading.Event()
+        self.started = time.time()
+        # In-flight request depth (POST endpoints only) and a monotonic
+        # request sequence for 1-in-N trace sampling; both are touched
+        # from concurrent handler threads.
+        self._inflight = 0
+        self._request_seq = 0
+        self._inflight_lock = threading.Lock()
+        if self.config.trace_dir:
+            os.makedirs(self.config.trace_dir, exist_ok=True)
         self.server = self._build_server()
 
     # -- lifecycle -----------------------------------------------------
@@ -175,6 +210,30 @@ class AnalysisDaemon:
     def draining(self) -> bool:
         return self._draining.is_set()
 
+    @property
+    def inflight(self) -> int:
+        with self._inflight_lock:
+            return self._inflight
+
+    def _request_started(self) -> int:
+        """Count a request in; returns its 1-based sequence number."""
+        with self._inflight_lock:
+            self._inflight += 1
+            self._request_seq += 1
+            return self._request_seq
+
+    def _request_finished(self) -> None:
+        with self._inflight_lock:
+            self._inflight -= 1
+
+    def _trace_sampled(self, sequence: int) -> bool:
+        """Does 1-in-N disk sampling want this request's trace?"""
+        return (
+            self.config.trace_dir is not None
+            and self.config.trace_sample > 0
+            and sequence % self.config.trace_sample == 0
+        )
+
     def serve_forever(self, install_signal_handlers: bool = False) -> None:
         """Serve until :meth:`drain` (or a signal) stops the loop.
 
@@ -195,7 +254,12 @@ class AnalysisDaemon:
                     os.unlink(self.config.socket_path)
                 except OSError:
                     pass
-            _log.info("analysis daemon stopped")
+            # in_flight must read 0 here: server_close joined every
+            # handler thread.  The CI load-smoke job asserts on this
+            # line after SIGTERM.
+            _log.info(
+                "analysis daemon stopped (in_flight=%d)", self.inflight
+            )
 
     def _handle_signal(self, signum, frame) -> None:
         _log.info("signal %d: draining", signum)
@@ -214,6 +278,18 @@ class AnalysisDaemon:
         # from a handler thread directly.
         threading.Thread(target=self.server.shutdown, daemon=True).start()
 
+    def health_payload(self) -> Dict[str, object]:
+        """The ``/healthz`` body: liveness plus the cheap occupancy
+        numbers the load driver and CI smoke assert on."""
+        sessions, session_bytes = self.registry.occupancy()
+        return {
+            "status": "draining" if self.draining else "ok",
+            "uptime_seconds": round(time.time() - self.started, 3),
+            "inflight": self.inflight,
+            "sessions": sessions,
+            "session_bytes": session_bytes,
+        }
+
     # -- request handling ----------------------------------------------
 
     def handle_analyze(
@@ -224,13 +300,13 @@ class AnalysisDaemon:
         jobs = _jobs_option(body)
         entry = self.registry.acquire(tenant, image_bytes)
         edit = body.get("edit")
-        with entry.lock:
+        with _entry_locked(entry, "analyze"):
             if edit is not None:
                 return self._analyze_edit(entry, edit, jobs)
             if entry.payload is not None:
                 REGISTRY.inc("service.result.warm")
                 return entry.payload, True
-            with span("service.analyze", tenant=tenant):
+            with _staged("analyze", "service.analyze", tenant=tenant):
                 entry.session.analyze(jobs=jobs)
                 # Retained with summaries embedded; the handler strips
                 # them unless the request asked for them.
@@ -248,7 +324,7 @@ class AnalysisDaemon:
         warm = entry.cache is not None
         if not warm:
             # One-time: build the base cache a future edit warms from.
-            with span("service.edit.seed"):
+            with _staged("edit.seed", "service.edit.seed"):
                 cold = entry.session.analyze_incremental(jobs=jobs)
                 self.registry.note_cache(entry, cold.cache)
         program = entry.session.program
@@ -259,7 +335,7 @@ class AnalysisDaemon:
             mutated = perturb_routine(program, routine)
         except (KeyError, ValueError) as error:
             raise RequestError(400, f"cannot apply edit: {error}") from error
-        with span("service.edit.analyze", routine=routine):
+        with _staged("edit.analyze", "service.edit.analyze", routine=routine):
             session = AnalysisSession.from_program(
                 mutated, self.registry.config
             )
@@ -277,22 +353,67 @@ class AnalysisDaemon:
         if not isinstance(routine, str) or not routine:
             raise RequestError(400, "missing routine name")
         entry = self.registry.acquire(tenant, image_bytes)
-        with entry.lock:
+        with _entry_locked(entry, "query"):
             # The session memoizes its query cache and front-end, so a
             # second query on a retained session skips the cold setup.
             warm = entry.session.has_query_state
-            with span("service.query", tenant=tenant, routine=routine):
+            with _staged(
+                "query", "service.query", tenant=tenant, routine=routine
+            ):
                 entry.session.query(routine)
                 payload = entry.session.to_json(include_summaries=True)
         REGISTRY.inc("service.result.warm" if warm else "service.result.cold")
         return payload, warm
 
-    def metrics_payload(self) -> Dict[str, object]:
-        return {
+    def metrics_payload(
+        self, include_histograms: bool = False
+    ) -> Dict[str, object]:
+        payload = {
             "counters": REGISTRY.as_dict(),
             "registry": self.registry.stats(),
             "draining": self.draining,
         }
+        # Opt-in (``?include=histograms``) so the default JSON body
+        # stays byte-identical for pre-histogram consumers.
+        if include_histograms:
+            payload["histograms"] = REGISTRY.histograms_dict()
+        return payload
+
+
+# ----------------------------------------------------------------------
+# Instrumentation helpers
+# ----------------------------------------------------------------------
+
+
+@contextmanager
+def _entry_locked(entry: SessionEntry, endpoint: str):
+    """Hold the entry lock, recording how long this request queued
+    behind other solves of the same image
+    (``service.queue_wait.seconds{endpoint=}``)."""
+    wait_start = time.perf_counter()
+    entry.lock.acquire()
+    REGISTRY.observe_hist(
+        "service.queue_wait.seconds",
+        time.perf_counter() - wait_start,
+        endpoint=endpoint,
+    )
+    try:
+        yield
+    finally:
+        entry.lock.release()
+
+
+@contextmanager
+def _staged(stage: str, span_name: str, **span_args: Any):
+    """A traced solve stage that also feeds
+    ``service.stage.seconds{stage=}`` — the sub-histograms that let a
+    slow p99 be attributed to seeding vs solving vs querying."""
+    start = time.perf_counter()
+    with span(span_name, **span_args):
+        yield
+    REGISTRY.observe_hist(
+        "service.stage.seconds", time.perf_counter() - start, stage=stage
+    )
 
 
 # ----------------------------------------------------------------------
@@ -353,7 +474,7 @@ class _Handler(BaseHTTPRequestHandler):
         status: int,
         payload: Dict[str, object],
         headers: Optional[Dict[str, str]] = None,
-    ) -> None:
+    ) -> int:
         blob = json.dumps(payload, indent=2, sort_keys=True).encode()
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
@@ -362,6 +483,16 @@ class _Handler(BaseHTTPRequestHandler):
             self.send_header(name, value)
         self.end_headers()
         self.wfile.write(blob)
+        return len(blob)
+
+    def _send_text(self, status: int, text: str, content_type: str) -> int:
+        blob = text.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(blob)))
+        self.end_headers()
+        self.wfile.write(blob)
+        return len(blob)
 
     def _read_body(self) -> Dict[str, Any]:
         """The request body as an options dict.
@@ -415,14 +546,32 @@ class _Handler(BaseHTTPRequestHandler):
     # -- dispatch ------------------------------------------------------
 
     def do_GET(self) -> None:  # noqa: N802 (http.server naming)
-        path = urlsplit(self.path).path
+        parts = urlsplit(self.path)
+        path = parts.path
         if path == "/healthz":
-            if self.daemon.draining:
-                self._send_json(503, {"status": "draining"})
-            else:
-                self._send_json(200, {"status": "ok"})
+            payload = self.daemon.health_payload()
+            self._send_json(503 if self.daemon.draining else 200, payload)
         elif path == "/metricsz":
-            self._send_json(200, self.daemon.metrics_payload())
+            query = dict(parse_qsl(parts.query))
+            accept = self.headers.get("Accept") or ""
+            if (
+                query.get("format") == "prometheus"
+                or "text/plain" in accept
+            ):
+                self._send_text(
+                    200,
+                    render_prometheus(),
+                    "text/plain; version=0.0.4; charset=utf-8",
+                )
+            else:
+                self._send_json(
+                    200,
+                    self.daemon.metrics_payload(
+                        include_histograms=(
+                            query.get("include") == "histograms"
+                        )
+                    ),
+                )
         else:
             self._send_json(404, {"error": f"unknown path {path}"})
 
@@ -436,47 +585,108 @@ class _Handler(BaseHTTPRequestHandler):
             return
         endpoint = path.rsplit("/", 1)[1]
         REGISTRY.inc("service.requests", endpoint=endpoint)
+        sequence = self.daemon._request_started()
         run_id = new_run_id()
+        start = time.perf_counter()
+        want_trace = (self.headers.get("X-Repro-Trace") or "").lower() in (
+            "1", "true", "yes",
+        )
+        sampled = self.daemon._trace_sampled(sequence)
+        # A request-local tracer (thread-local override) captures this
+        # request's spans — including merged worker spans — without
+        # interleaving concurrent requests.
+        tracer = push_local_tracer() if (want_trace or sampled) else None
+        status = 500
+        warm_label = "error"
+        tenant = "-"
+        headers: Dict[str, str] = {}
+        out: Dict[str, object] = {"error": "internal error"}
         try:
-            body = self._read_body()
-            tenant = self._tenant()
-            with span("service.request", endpoint=endpoint):
-                if endpoint == "analyze":
-                    payload, warm = self.daemon.handle_analyze(tenant, body)
-                else:
-                    payload, warm = self.daemon.handle_query(tenant, body)
-            if not _bool_option(body, "include_summaries"):
-                payload = {
-                    key: value
-                    for key, value in payload.items()
-                    if key != "summaries"
-                }
-            self._send_json(
-                200,
-                payload,
-                headers={
+            try:
+                body = self._read_body()
+                tenant = self._tenant()
+                with span("service.request", endpoint=endpoint):
+                    if endpoint == "analyze":
+                        payload, warm = self.daemon.handle_analyze(
+                            tenant, body
+                        )
+                    else:
+                        payload, warm = self.daemon.handle_query(
+                            tenant, body
+                        )
+                warm_label = "true" if warm else "false"
+                if not _bool_option(body, "include_summaries"):
+                    payload = {
+                        key: value
+                        for key, value in payload.items()
+                        if key != "summaries"
+                    }
+                headers = {
                     "X-Repro-Run-Id": run_id,
                     "X-Repro-Warm": "hit" if warm else "miss",
                     "X-Repro-Schema": str(SCHEMA_VERSION),
-                },
+                }
+                if tracer is not None and want_trace:
+                    # Copy before attaching: the retained payload is
+                    # shared with every future warm repeat of this
+                    # image.
+                    trace_doc = tracer.to_chrome_trace()
+                    payload = dict(payload)
+                    payload["trace"] = trace_doc
+                    headers["X-Repro-Trace-Spans"] = str(
+                        len(trace_doc["traceEvents"])
+                    )
+                status, out = 200, payload
+            except RequestError as error:
+                status, out = error.status, {"error": str(error)}
+                REGISTRY.inc("service.errors", status=error.status)
+            except (TenantError, ImageFormatError) as error:
+                status, out = 400, {"error": str(error)}
+                REGISTRY.inc("service.errors", status=400)
+            except UnknownRoutineError as error:
+                status, out = 404, {"error": str(error)}
+                REGISTRY.inc("service.errors", status=404)
+            except AnalysisError as error:
+                status, out = 500, {"error": str(error)}
+                REGISTRY.inc("service.errors", status=500)
+            except Exception as error:  # pragma: no cover - last resort
+                _log.exception("unhandled error serving %s", self.path)
+                status, out = 500, {"error": f"internal error: {error}"}
+                REGISTRY.inc("service.errors", status=500)
+            # Record *before* the response bytes leave: a client may
+            # scrape /metricsz the instant it reads its response, and
+            # "histogram count == requests answered" must hold exactly
+            # at that point (the CI load-smoke asserts it).
+            duration = time.perf_counter() - start
+            REGISTRY.observe_hist(
+                "service.request.seconds",
+                duration,
+                endpoint=endpoint,
+                warm=warm_label,
             )
-        except RequestError as error:
-            REGISTRY.inc("service.errors", status=error.status)
-            self._send_json(error.status, {"error": str(error)})
-        except (TenantError, ImageFormatError) as error:
-            REGISTRY.inc("service.errors", status=400)
-            self._send_json(400, {"error": str(error)})
-        except UnknownRoutineError as error:
-            REGISTRY.inc("service.errors", status=404)
-            self._send_json(404, {"error": str(error)})
-        except AnalysisError as error:
-            REGISTRY.inc("service.errors", status=500)
-            self._send_json(500, {"error": str(error)})
-        except Exception as error:  # pragma: no cover - last resort
-            _log.exception("unhandled error serving %s", self.path)
-            REGISTRY.inc("service.errors", status=500)
-            self._send_json(500, {"error": f"internal error: {error}"})
+            sent = self._send_json(status, out, headers=headers)
+            _access_log.info(
+                "run=%s method=POST path=%s tenant=%s status=%d warm=%s "
+                "dur_ms=%.3f bytes=%d inflight=%d",
+                run_id, path, tenant, status, warm_label,
+                duration * 1e3, sent, self.daemon.inflight,
+            )
         finally:
+            if tracer is not None:
+                pop_local_tracer()
+                if sampled and self.daemon.config.trace_dir:
+                    try:
+                        tracer.export(
+                            os.path.join(
+                                self.daemon.config.trace_dir,
+                                f"{run_id}.json",
+                            )
+                        )
+                    except OSError as error:
+                        _log.warning(
+                            "could not write trace sample: %s", error
+                        )
+            self.daemon._request_finished()
             clear_run_id()
 
 

@@ -185,6 +185,15 @@ class SessionRegistry:
 
     # -- stats ---------------------------------------------------------
 
+    def occupancy(self) -> Tuple[int, int]:
+        """``(session_count, retained_bytes)`` — the cheap pair
+        ``/healthz`` reports on every probe (no per-entry dicts)."""
+        with self._lock:
+            return (
+                len(self._entries),
+                sum(e.nbytes for e in self._entries.values()),
+            )
+
     def stats(self) -> Dict[str, object]:
         with self._lock:
             entries: List[Dict[str, object]] = [

@@ -66,17 +66,35 @@ def perturb_routine(program: Program, name: str) -> Program:
     )
 
 
+def _routine_is_editable(routine: Routine) -> bool:
+    return any(
+        instruction.opcode in _MUTABLE_OPCODES
+        and instruction.opcode.control == ControlKind.FALLTHROUGH
+        and instruction.literal is None
+        and instruction.ra != ZERO_REGISTER
+        for instruction in routine.instructions
+    )
+
+
+def editable_routines(program: Program, skip_entry: bool = True) -> list:
+    """Every routine :func:`perturb_routine` can edit, in program order.
+
+    The load driver's edit-replay engine records a seeded trace over
+    this list; it must be deterministic for a given program.
+    """
+    return [
+        routine.name
+        for routine in program.routines
+        if not (skip_entry and routine.name == program.entry)
+        and _routine_is_editable(routine)
+    ]
+
+
 def first_editable_routine(program: Program, skip_entry: bool = True) -> str:
     """The name of a routine :func:`perturb_routine` can edit."""
     for routine in program.routines:
         if skip_entry and routine.name == program.entry:
             continue
-        for instruction in routine.instructions:
-            if (
-                instruction.opcode in _MUTABLE_OPCODES
-                and instruction.opcode.control == ControlKind.FALLTHROUGH
-                and instruction.literal is None
-                and instruction.ra != ZERO_REGISTER
-            ):
-                return routine.name
+        if _routine_is_editable(routine):
+            return routine.name
     raise ValueError("no editable routine in program")

@@ -1,0 +1,244 @@
+"""Tests for the traffic-shaped load driver (:mod:`repro.workloads.driver`).
+
+Engines must be seeded and deterministic (that is what lets CI assert
+"server histogram count == requests sent" with no slack), the cold
+fraction must mint never-seen tenants, the edit-replay engine must lead
+with the base analyze, and a live workload against an in-process daemon
+must account for every request in the server's histograms.
+"""
+
+import threading
+
+import pytest
+
+from repro.obs import REGISTRY
+from repro.program.asm import assemble
+from repro.service import AnalysisDaemon, ServiceClient, ServiceConfig
+from repro.workloads.driver import (
+    KIND_ANALYZE,
+    KIND_EDIT,
+    KIND_QUERY,
+    EditReplayEngine,
+    ImageSpec,
+    Req,
+    ReqResult,
+    UniformEngine,
+    Workload,
+    WorkloadReport,
+    ZipfEngine,
+    assign_arrivals,
+    record_edit_trace,
+    zipf_weights,
+)
+
+SOURCE = """
+.routine main export
+    li  a0, 3
+    bsr ra, inc
+    bis zero, v0, a0
+    output
+    halt
+.routine inc
+    addq a0, a1, v0
+    addq v0, a0, v0
+    ret (ra)
+"""
+
+
+@pytest.fixture(scope="module")
+def spec():
+    return ImageSpec(
+        name="tiny",
+        image_bytes=assemble(SOURCE).to_bytes(),
+        routines=("main", "inc"),
+        editable=("inc",),
+    )
+
+
+@pytest.fixture(scope="module")
+def specs(spec):
+    return [
+        spec,
+        ImageSpec(
+            name="tiny2",
+            image_bytes=spec.image_bytes,
+            routines=("main", "inc"),
+            editable=("inc",),
+        ),
+    ]
+
+
+class TestEngines:
+    def test_streams_are_seeded_and_deterministic(self, specs):
+        first = UniformEngine(specs, seed=7, cold_fraction=0.3).requests(40)
+        second = UniformEngine(specs, seed=7, cold_fraction=0.3).requests(40)
+        assert first == second
+        different = UniformEngine(specs, seed=8, cold_fraction=0.3)
+        assert different.requests(40) != first
+
+    def test_uniform_mixes_analyze_and_query(self, specs):
+        reqs = UniformEngine(specs, seed=1, query_fraction=0.5).requests(60)
+        kinds = {req.kind for req in reqs}
+        assert kinds == {KIND_ANALYZE, KIND_QUERY}
+        for req in reqs:
+            if req.kind == KIND_QUERY:
+                assert req.routine in ("main", "inc")
+            else:
+                assert req.routine is None
+
+    def test_cold_fraction_mints_unique_tenants(self, specs):
+        reqs = UniformEngine(specs, seed=3, cold_fraction=0.4).requests(50)
+        cold = [r for r in reqs if r.tenant != "load"]
+        assert 0 < len(cold) < len(reqs)
+        assert len({r.tenant for r in cold}) == len(cold)  # never reused
+        assert all(r.tenant.startswith("load-cold-") for r in cold)
+
+    def test_zero_cold_fraction_shares_one_tenant(self, specs):
+        reqs = UniformEngine(specs, seed=3, cold_fraction=0.0).requests(20)
+        assert {r.tenant for r in reqs} == {"load"}
+
+    def test_requires_at_least_one_image(self):
+        with pytest.raises(ValueError):
+            UniformEngine([])
+
+    def test_zipf_weights_normalized_and_decreasing(self):
+        weights = zipf_weights(5, 1.1)
+        assert sum(weights) == pytest.approx(1.0)
+        assert weights == sorted(weights, reverse=True)
+        assert weights[0] / weights[4] == pytest.approx(5 ** 1.1)
+
+    def test_zipf_concentrates_on_the_head(self, specs):
+        reqs = ZipfEngine(specs, seed=5, skew=1.5).requests(200)
+        hot = sum(1 for r in reqs if r.image == "tiny")
+        assert hot > len(reqs) // 2  # rank 1 absorbs most traffic
+
+    def test_from_benchmark_is_deterministic(self):
+        one = ImageSpec.from_benchmark("compress", scale=0.05, seed=0)
+        two = ImageSpec.from_benchmark("compress", scale=0.05, seed=0)
+        assert one == two
+        assert one.routines
+        assert set(one.editable) <= set(one.routines)
+
+
+class TestEditReplay:
+    def test_trace_is_seeded_and_bounded_to_editable(self, spec):
+        trace = record_edit_trace(spec, 12, seed=4)
+        assert trace == record_edit_trace(spec, 12, seed=4)
+        assert len(trace) == 12
+        assert set(trace) <= set(spec.editable)
+
+    def test_trace_requires_editable_routines(self, spec):
+        bare = ImageSpec(
+            name="bare", image_bytes=spec.image_bytes, routines=("main",)
+        )
+        with pytest.raises(ValueError):
+            record_edit_trace(bare, 4)
+
+    def test_replay_leads_with_the_base_analyze(self, spec):
+        trace = ["inc", "inc"]
+        reqs = EditReplayEngine(spec, trace).requests(5)
+        assert len(reqs) == 5
+        assert reqs[0].kind == KIND_ANALYZE
+        assert all(r.kind == KIND_EDIT for r in reqs[1:])
+        assert all(r.routine == "inc" for r in reqs[1:])
+
+    def test_replay_cycles_a_short_trace(self, spec):
+        reqs = EditReplayEngine(spec, ["inc"]).requests(4)
+        assert [r.routine for r in reqs[1:]] == ["inc"] * 3
+
+
+class TestArrivals:
+    def test_offsets_are_monotonic_and_seeded(self):
+        reqs = [Req(kind=KIND_ANALYZE, image="i") for _ in range(30)]
+        stamped = assign_arrivals(reqs, rate=100.0, seed=9)
+        offsets = [r.at for r in stamped]
+        assert offsets == sorted(offsets)
+        assert offsets[0] == 0.0
+        again = [r.at for r in assign_arrivals(reqs, rate=100.0, seed=9)]
+        assert offsets == again
+
+    def test_bursts_arrive_back_to_back(self):
+        reqs = [Req(kind=KIND_ANALYZE, image="i") for _ in range(50)]
+        stamped = assign_arrivals(
+            reqs, rate=100.0, seed=9, burst_probability=0.5
+        )
+        offsets = [r.at for r in stamped]
+        pairs = list(zip(offsets, offsets[1:]))
+        assert any(a == b for a, b in pairs)  # bursts share an instant
+        assert any(a < b for a, b in pairs)  # but not everything bursts
+
+    def test_rate_must_be_positive(self):
+        with pytest.raises(ValueError):
+            assign_arrivals([], rate=0.0)
+
+
+class TestWorkloadReport:
+    def _result(self, seconds, status=200, warm=False):
+        return ReqResult(
+            kind=KIND_ANALYZE, image="i", status=status, warm=warm,
+            seconds=seconds,
+        )
+
+    def test_quantiles_are_exact_order_statistics(self):
+        results = [self._result(s / 100) for s in range(1, 101)]
+        report = WorkloadReport("uniform", results, wall_seconds=2.0)
+        assert report.quantile(0.50) == pytest.approx(0.51)
+        assert report.quantile(0.99) == pytest.approx(1.0)
+        assert report.throughput == pytest.approx(50.0)
+
+    def test_to_json_counts_errors_and_warm(self):
+        results = [
+            self._result(0.01, warm=True),
+            self._result(0.02),
+            self._result(0.03, status=500),
+        ]
+        summary = WorkloadReport("zipf", results, 1.0).to_json()
+        assert summary["requests"] == 3
+        assert summary["errors"] == 1
+        assert summary["warm"] == 1
+        assert summary["p50_ms"] == pytest.approx(20.0)
+
+
+class TestWorkloadLive:
+    def _request_seconds_count(self):
+        return sum(
+            int(entry["count"])
+            for key, entry in REGISTRY.histograms_dict().items()
+            if key.startswith("service.request.seconds")
+        )
+
+    def test_every_request_lands_in_the_server_histogram(self, specs):
+        daemon = AnalysisDaemon(ServiceConfig(port=0))
+        thread = threading.Thread(target=daemon.serve_forever)
+        thread.start()
+        base = self._request_seconds_count()
+        try:
+            host, port = daemon.server.server_address[:2]
+
+            def connect(tenant):
+                return ServiceClient.tcp(host, port, tenant=tenant)
+
+            workload = Workload(
+                UniformEngine(
+                    specs, seed=2, cold_fraction=0.25, query_fraction=0.5
+                ),
+                count=12,
+                concurrency=3,
+                seed=2,
+            )
+            report = workload.run(connect)
+            replay = Workload(
+                EditReplayEngine(specs[0], ["inc"]), count=4, concurrency=1
+            )
+            replay_report = replay.run(connect)
+        finally:
+            daemon.drain()
+            thread.join(timeout=30)
+
+        assert report.count == 12
+        assert report.errors == 0
+        assert replay_report.errors == 0
+        # Repeats within the warm tenant and the edit warm-starts mix
+        # warm responses in; the cold-tenant mints guarantee colds.
+        assert 0 < report.warm_count + replay_report.warm_count < 16
+        assert self._request_seconds_count() - base == 16

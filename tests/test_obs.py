@@ -203,9 +203,10 @@ class TestMetricsRegistry:
         worker = MetricsRegistry()
         worker.inc("n", 2, kind="a")
         worker.observe_max("m", 7)
-        counters, maxima = worker.collect(clear=True)
+        counters, maxima, _ = worker.collect(clear=True)
         # Tuples can come back as lists after a serialization round
-        # trip; merge() must re-tuple them into hashable keys.
+        # trip; merge() must re-tuple them into hashable keys.  A
+        # legacy 2-tuple payload (pre-histogram) must still merge.
         degrade = lambda items: [
             ((key[0], [list(pair) for pair in key[1]]), value)
             for key, value in items

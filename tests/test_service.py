@@ -478,3 +478,179 @@ class TestUnixSocket:
         import os
 
         assert not os.path.exists(sockpath)
+
+
+# ----------------------------------------------------------------------
+# Request-level observability
+# ----------------------------------------------------------------------
+
+
+class TestObservabilityEndpoints:
+    def test_healthz_reports_uptime_inflight_and_sessions(
+        self, daemon, image_a
+    ):
+        client = _client(daemon)
+        client.analyze(image_a)
+        # The in-flight decrement runs after the response bytes are
+        # written (the histogram observe is what happens before), so a
+        # freshly answered request may still show for an instant.
+        deadline = time.monotonic() + 5
+        while daemon.inflight and time.monotonic() < deadline:
+            time.sleep(0.005)
+        health = client.healthz().payload
+        assert health["status"] == "ok"
+        assert health["uptime_seconds"] >= 0
+        assert health["inflight"] == 0
+        assert health["sessions"] == 1
+        assert health["session_bytes"] > 0
+
+    def test_metricsz_default_json_unchanged_by_histograms(
+        self, daemon, image_a
+    ):
+        """The default JSON stays byte-compatible: no histogram block
+        unless explicitly requested with ``?include=histograms``."""
+        client = _client(daemon)
+        client.analyze(image_a)
+        payload = client.metricsz()
+        assert set(payload) == {"counters", "registry", "draining"}
+        assert all(
+            isinstance(value, (int, float))
+            for value in payload["counters"].values()
+        )
+
+    def test_metricsz_include_histograms_adds_the_block(
+        self, daemon, image_a
+    ):
+        client = _client(daemon)
+        client.analyze(image_a)
+        client.analyze(image_a)
+        payload = client.metricsz(include_histograms=True)
+        histograms = payload["histograms"]
+        cold = histograms[
+            "service.request.seconds{endpoint=analyze,warm=false}"
+        ]
+        warm = histograms[
+            "service.request.seconds{endpoint=analyze,warm=true}"
+        ]
+        assert cold["count"] >= 1
+        assert warm["count"] >= 1
+        assert cold["buckets"]["+Inf"] == cold["count"]
+        # Queue-wait and stage sub-histograms ride along.
+        assert any(
+            key.startswith("service.queue_wait.seconds") for key in histograms
+        )
+        assert any(
+            key.startswith("service.stage.seconds{stage=analyze}")
+            for key in histograms
+        )
+
+    def test_metricsz_prometheus_format_param(self, daemon, image_a):
+        client = _client(daemon)
+        client.analyze(image_a)
+        text = client.metricsz_prometheus()
+        assert "# TYPE service_request_seconds histogram" in text
+        assert 'service_requests{endpoint="analyze"}' in text
+        assert 'le="+Inf"' in text
+
+    def test_metricsz_prometheus_via_accept_header(self, daemon, image_a):
+        import http.client
+
+        _client(daemon).analyze(image_a)
+        host, port = daemon.server.server_address[:2]
+        connection = http.client.HTTPConnection(host, port, timeout=30)
+        try:
+            connection.request(
+                "GET", "/metricsz", headers={"Accept": "text/plain"}
+            )
+            raw = connection.getresponse()
+            body = raw.read().decode("utf-8")
+            assert raw.status == 200
+            assert raw.headers["Content-Type"].startswith("text/plain")
+        finally:
+            connection.close()
+        assert "# TYPE service_request_seconds histogram" in body
+
+    def test_request_histogram_counts_every_request(self, daemon, image_a):
+        def served(histograms):
+            return sum(
+                entry["count"]
+                for key, entry in histograms.items()
+                if key.startswith("service.request.seconds")
+            )
+
+        client = _client(daemon)
+        # The registry is process-global (other tests' daemons feed the
+        # same histograms), so count the delta across our requests.
+        base = served(client.metricsz(include_histograms=True)["histograms"])
+        client.analyze(image_a)
+        client.analyze(image_a)
+        client.query(image_a, "inc")
+        after = served(client.metricsz(include_histograms=True)["histograms"])
+        # Every POST in between (the metricsz GETs don't count).
+        assert after - base == 3
+
+
+class TestRequestTracing:
+    def test_trace_header_attaches_spans(self, daemon, image_a):
+        response = _client(daemon).analyze(image_a, trace=True)
+        trace = response.payload["trace"]
+        names = {event["name"] for event in trace["traceEvents"]}
+        assert "analyze" in names
+        spans = int(response.headers["X-Repro-Trace-Spans"])
+        assert spans == len(trace["traceEvents"]) > 0
+
+    def test_untraced_requests_carry_no_trace(self, daemon, image_a):
+        client = _client(daemon)
+        client.analyze(image_a, trace=True)
+        response = client.analyze(image_a)
+        assert "trace" not in response.payload
+        assert "X-Repro-Trace-Spans" not in response.headers
+
+    def test_concurrent_traces_do_not_interleave(
+        self, daemon, image_a, image_b
+    ):
+        """Two traced requests in flight at once each see only their
+        own spans (the tracer override is request-thread-local)."""
+        payloads = {}
+
+        def hit(name, blob):
+            payloads[name] = _client(daemon).analyze(
+                blob, trace=True
+            ).payload
+
+        threads = [
+            threading.Thread(target=hit, args=("a", image_a)),
+            threading.Thread(target=hit, args=("b", image_b)),
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        for name in ("a", "b"):
+            events = payloads[name]["trace"]["traceEvents"]
+            analyze_spans = [e for e in events if e["name"] == "analyze"]
+            assert len(analyze_spans) == 1, name
+
+    def test_trace_dir_samples_to_disk(self, tmp_path, image_a):
+        trace_dir = tmp_path / "traces"
+        daemon = AnalysisDaemon(
+            ServiceConfig(port=0, trace_dir=str(trace_dir), trace_sample=2)
+        )
+        thread = threading.Thread(target=daemon.serve_forever)
+        thread.start()
+        try:
+            client = _client(daemon)
+            responses = [client.analyze(image_a) for _ in range(4)]
+        finally:
+            daemon.drain()
+            thread.join(timeout=30)
+        exported = sorted(trace_dir.glob("*.json"))
+        # 1-in-2 sampling over sequence numbers 1..4 exports two.
+        assert len(exported) == 2
+        run_ids = {response.run_id for response in responses}
+        assert {path.stem for path in exported} <= run_ids
+        for path in exported:
+            trace = json.loads(path.read_text(encoding="utf-8"))
+            assert trace["traceEvents"]
+        # Sampling never leaks spans into response payloads.
+        assert all("trace" not in r.payload for r in responses)

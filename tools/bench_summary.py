@@ -11,13 +11,19 @@ folds them into a single top-level summary CI can upload and trend
 tooling can diff across PRs::
 
     {
-      "pr": 8,
+      "pr": 9,
       "benches": {
         "<table stem>": {"seconds": <total (s)-column seconds>,
-                         "counters": {...obs registry snapshot...}},
+                         "counters": {...obs registry snapshot...},
+                         "histograms": {series: {count, sum,
+                                                 p50, p95, p99}}},
         ...
       }
     }
+
+The ``histograms`` block (present when a bench recorded latency
+distributions — the service and load benches) carries the headline
+quantiles, so trend tooling can diff tails, not just totals.
 
 Exits 1 when the results directory holds no readable result files —
 an empty summary usually means the bench job silently did nothing.
@@ -66,10 +72,25 @@ def summarize(results_dir: Path, pr: int) -> Dict[str, Any]:
                 f"derived {seconds:.6f}s from its samples",
                 file=sys.stderr,
             )
-        benches[stem] = {
+        entry: Dict[str, Any] = {
             "seconds": seconds,
             "counters": payload.get("counters", {}),
         }
+        histograms = payload.get("histograms") or {}
+        if histograms:
+            # Carry the quantiles, drop the raw bucket maps: the
+            # summary is for diffing across PRs, and p50/p95/p99 are
+            # the numbers a regression shows up in.
+            entry["histograms"] = {
+                series: {
+                    key: value
+                    for key, value in data.items()
+                    if key in ("count", "sum", "p50", "p95", "p99")
+                }
+                for series, data in histograms.items()
+                if isinstance(data, dict)
+            }
+        benches[stem] = entry
     return {"pr": pr, "benches": benches}
 
 
@@ -80,8 +101,8 @@ def main(argv: List[str] | None = None) -> int:
         metavar="DIR", help="directory of per-table result JSON files",
     )
     parser.add_argument(
-        "--pr", type=int, default=8, metavar="N",
-        help="PR number recorded in the summary (default: 8)",
+        "--pr", type=int, default=9, metavar="N",
+        help="PR number recorded in the summary (default: 9)",
     )
     parser.add_argument(
         "--out", type=Path, default=None, metavar="FILE",

@@ -1,0 +1,188 @@
+#!/usr/bin/env python
+"""CI smoke: a seeded load-driver burst against a real serve process.
+
+Launches ``spike-analyze serve`` as a subprocess on a unix socket,
+fires a short mixed warm/cold burst (uniform + edit-replay engines,
+≥50 requests total) through :mod:`repro.workloads.driver`, then checks
+the observability contract end to end:
+
+* zero request errors, and the server's ``service.request.seconds``
+  histogram count equals the number of requests the driver sent —
+  exactly;
+* ``/healthz`` reports zero in-flight requests and a positive
+  retained-session count once the burst completes;
+* ``/metricsz?format=prometheus`` passes ``tools/validate_prometheus``
+  (cumulative ``le``-ordered buckets, ``+Inf`` present, ``_sum``/
+  ``_count`` consistent);
+* SIGTERM drains: the daemon exits 0, removes its socket, and its
+  shutdown log line reports ``in_flight=0``.
+
+Usage::
+
+    PYTHONPATH=src python tools/load_smoke.py [--requests 60]
+        [--benchmark compress] [--scale 0.15] [--timeout 240]
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from typing import List
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+from validate_prometheus import validate  # noqa: E402
+
+from repro.service import ServiceClient, ServiceError  # noqa: E402
+from repro.workloads.driver import (  # noqa: E402
+    EditReplayEngine,
+    ImageSpec,
+    UniformEngine,
+    Workload,
+    record_edit_trace,
+)
+
+
+def fail(message: str) -> None:
+    print(f"load smoke FAILED: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def wait_for_ready(client: ServiceClient, deadline: float) -> None:
+    while time.monotonic() < deadline:
+        try:
+            if client.healthz().status == 200:
+                return
+        except (ServiceError, OSError):
+            pass
+        time.sleep(0.05)
+    fail("daemon did not become healthy before the timeout")
+
+
+def request_seconds_count(text: str) -> int:
+    return sum(
+        int(line.rsplit(" ", 1)[1])
+        for line in text.splitlines()
+        if line.startswith("service_request_seconds_count")
+    )
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--requests", type=int, default=60)
+    parser.add_argument("--benchmark", default="compress")
+    parser.add_argument("--scale", type=float, default=0.15)
+    parser.add_argument("--timeout", type=float, default=240.0)
+    args = parser.parse_args(argv)
+    if args.requests < 50:
+        fail("--requests must be >= 50 (the smoke is a burst, not a ping)")
+    deadline = time.monotonic() + args.timeout
+
+    spec = ImageSpec.from_benchmark(args.benchmark, scale=args.scale, seed=0)
+    print(
+        f"image: {args.benchmark} x{args.scale}, "
+        f"{len(spec.image_bytes)} bytes, {len(spec.routines)} routines"
+    )
+
+    with tempfile.TemporaryDirectory(prefix="load-smoke-") as tmp:
+        socket_path = os.path.join(tmp, "svc.sock")
+        log_path = os.path.join(tmp, "serve.log")
+        log_handle = open(log_path, "w", encoding="utf-8")
+        process = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro.cli",
+                "--log-level", "info", "serve",
+                "--socket", socket_path,
+                "--trace-dir", os.path.join(tmp, "traces"),
+                "--trace-sample", "25",
+            ],
+            stderr=log_handle,
+        )
+        try:
+            probe = ServiceClient.unix(socket_path)
+            wait_for_ready(probe, deadline)
+
+            def connect(tenant):
+                return ServiceClient.unix(socket_path, tenant=tenant)
+
+            uniform = Workload(
+                UniformEngine(
+                    [spec], seed=5, cold_fraction=0.15, query_fraction=0.4
+                ),
+                count=args.requests * 2 // 3,
+                concurrency=4,
+                rate=300.0,
+                seed=5,
+            )
+            replay = Workload(
+                EditReplayEngine(spec, record_edit_trace(spec, 8, seed=6)),
+                count=args.requests - uniform.count,
+                concurrency=2,
+                seed=6,
+            )
+            reports = [uniform.run(connect), replay.run(connect)]
+            sent = sum(report.count for report in reports)
+            errors = sum(report.errors for report in reports)
+            warm = sum(report.warm_count for report in reports)
+            print(
+                f"burst: {sent} requests ({warm} warm), {errors} errors, "
+                f"p95 {max(r.quantile(0.95) for r in reports) * 1e3:.1f} ms"
+            )
+            if errors:
+                fail(f"{errors} request errors during the burst")
+            if not 0 < warm < sent:
+                fail(f"expected a warm/cold mix, got {warm}/{sent} warm")
+
+            exposition = probe.metricsz_prometheus()
+            served = request_seconds_count(exposition)
+            if served != sent:
+                fail(
+                    f"server histogram count {served} != "
+                    f"{sent} requests sent"
+                )
+            try:
+                validate(exposition)
+            except AssertionError as error:
+                fail(f"prometheus exposition invalid: {error}")
+            print(f"metricsz: histogram count {served} == sent, "
+                  "prometheus exposition valid")
+
+            health = probe.healthz().payload
+            if health.get("inflight") != 0:
+                fail(f"in-flight not zero after burst: {health}")
+            if not health.get("sessions"):
+                fail(f"no retained sessions after burst: {health}")
+            print(
+                f"healthz: inflight=0, sessions={health['sessions']}, "
+                f"uptime={health['uptime_seconds']}s"
+            )
+
+            process.send_signal(signal.SIGTERM)
+            exit_code = process.wait(
+                timeout=max(1.0, deadline - time.monotonic())
+            )
+            if exit_code != 0:
+                fail(f"daemon exited {exit_code} after SIGTERM")
+            if os.path.exists(socket_path):
+                fail("daemon left its socket behind after drain")
+            log_handle.flush()
+            log_text = open(log_path, encoding="utf-8").read()
+            if "in_flight=0" not in log_text:
+                fail("shutdown log does not report in_flight=0")
+            print("drain: daemon exited 0, socket removed, in_flight=0")
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.wait(timeout=10)
+            log_handle.close()
+
+    print("load smoke OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

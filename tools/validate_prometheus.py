@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Validate Prometheus text exposition (stdin or a file) — stdlib only.
+
+Checks: every line is a comment or a parseable sample; every sample
+family has a ``# TYPE``; histogram buckets are cumulative, ``le``-sorted
+and end in ``+Inf``; ``_count`` equals the ``+Inf`` bucket; ``_sum``
+and ``_count`` are present.  Exit 0 on success, 1 with a message on the
+first violation.  Used by tests and the CI ``load-smoke`` job.
+"""
+import re
+import sys
+
+SAMPLE = re.compile(
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r'(\{(?:[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*",?)*\})? '
+    r"(-?[0-9.eE+-]+|[+-]Inf|NaN)$"
+)
+
+
+def validate(text: str) -> None:
+    types, hist = {}, {}
+    for line in text.splitlines():
+        if not line or line.startswith("#"):
+            parts = line.split()
+            if line.startswith("# TYPE"):
+                types[parts[2]] = parts[3]
+            continue
+        match = SAMPLE.match(line)
+        assert match, f"unparseable sample line: {line!r}"
+        name, labels, value = match.group(1), match.group(2) or "", match.group(3)
+        base = re.sub(r"_(bucket|sum|count)$", "", name)
+        family = base if types.get(base) == "histogram" else name
+        assert family in types, f"sample {name!r} has no # TYPE line"
+        if types.get(base) == "histogram" and name.endswith("_bucket"):
+            le = re.search(r'le="([^"]*)"', labels)
+            assert le, f"histogram bucket without le label: {line!r}"
+            rest = re.sub(r',?le="[^"]*"', "", labels).replace("{}", "")
+            series = hist.setdefault((base, rest), [])
+            series.append((float(le.group(1).replace("+Inf", "inf")), float(value)))
+        if types.get(base) == "histogram" and name.endswith("_count"):
+            buckets = hist.get((base, labels), [])
+            assert buckets and buckets[-1][0] == float("inf"), \
+                f"{base}{labels}: bucket list missing +Inf"
+            bounds = [b for b, _ in buckets]
+            counts = [c for _, c in buckets]
+            assert bounds == sorted(bounds), f"{base}{labels}: le not sorted"
+            assert counts == sorted(counts), f"{base}{labels}: not cumulative"
+            assert counts[-1] == float(value), \
+                f"{base}{labels}: _count {value} != +Inf bucket {counts[-1]}"
+
+
+if __name__ == "__main__":
+    text = open(sys.argv[1]).read() if len(sys.argv) > 1 else sys.stdin.read()
+    try:
+        validate(text)
+    except AssertionError as err:
+        print(f"INVALID: {err}", file=sys.stderr)
+        sys.exit(1)
+    print("prometheus exposition OK")
