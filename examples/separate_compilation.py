@@ -17,25 +17,34 @@ makes that story concrete:
    nothing).
 4. Run the optimizer and watch the compile-time pessimism disappear,
    with behaviour verified by execution.
+5. Link a *second* variant of the app against the byte-identical
+   mathlib and analyze it through a shared summary store
+   (:mod:`repro.interproc.store`): the library routines are never
+   re-solved — their summaries are keyed by deep fingerprint, so any
+   image that links the same library bytes reuses them.
 
 Run with:  python examples/separate_compilation.py
 """
 
+import tempfile
+
 from repro import AnalysisSession, disassemble_image
+from repro.api import AnalysisConfig
+from repro.interproc.store import SummaryStore
 from repro.program.linker import ObjectModule, link_modules
 
 
-def build_app() -> ObjectModule:
+def build_app(version: int = 1) -> ObjectModule:
     app = ObjectModule("app")
     app.extern("scale")
     app.routine("main", exported=True)
     app.memory("lda", "sp", -32, "sp")
     app.memory("stq", "ra", 0, "sp")
-    app.li("t5", 100)
+    app.li("t5", 100 * version)
     # Compile-time pessimism: 'scale' lives in another module, so the
     # compiler spilled t5 around the call.
     app.memory("stq", "t5", 16, "sp")
-    app.li("a0", 4)
+    app.li("a0", 3 + version)
     app.bsr("scale")
     app.memory("ldq", "t5", 16, "sp")
     app.op("addq", "t5", "v0", "a0")
@@ -117,6 +126,37 @@ def main() -> None:
     print()
     print("cross-module spill and save/restore eliminated — the paper's "
           "Figure 1, via a real link step.")
+
+    # ------------------------------------------------------------------
+    # Separate compilation at scale: a second linked variant
+    # ------------------------------------------------------------------
+    print()
+    print("now link a second app variant against the same mathlib:")
+    with tempfile.TemporaryDirectory() as store_dir:
+        store = SummaryStore(store_dir)
+        for version in (1, 2):
+            image = link_modules(
+                [build_app(version), build_mathlib(), build_util()],
+                entry="main",
+            )
+            variant = disassemble_image(image)
+            session = AnalysisSession.from_program(
+                variant, AnalysisConfig(store=store)
+            )
+            analysis = session.analyze_incremental()
+            metrics = analysis.metrics
+            print(f"  variant {version}: "
+                  f"solved {metrics.phase1_solved} routines, "
+                  f"store hits phase1={metrics.phase1_store_hits} "
+                  f"phase2={metrics.phase2_store_hits}")
+        stats = store.stats()
+        print(f"  store: {stats['triples']} triples, "
+              f"{stats['summaries']} summaries, {stats['bytes']} bytes")
+        assert metrics.phase1_store_hits == 2  # scale and offset reused
+        assert metrics.phase1_solved == 1      # only the edited app
+    print("the shared library was analyzed once for the whole family — "
+          "summaries are keyed by deep (Merkle) routine fingerprint, "
+          "not by image.")
 
 
 if __name__ == "__main__":

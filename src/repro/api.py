@@ -144,6 +144,13 @@ JOBS_ENV_VAR = "REPRO_JOBS"
 #: (re-exported from :mod:`repro.interproc.flatcore` for discovery).
 SOLVER_CORE_ENV_VAR = "REPRO_SOLVER_CORE"
 
+#: Environment variable naming the shared summary-store directory
+#: (re-exported from :mod:`repro.interproc.store` for discovery).
+#: When set, cold and incremental solves consult and publish
+#: content-addressed routine summaries there; results stay
+#: byte-identical with the store on, off, or corrupted.
+SUMMARY_STORE_ENV_VAR = "REPRO_SUMMARY_STORE"
+
 #: Exceptions an analysis run normalizes into AnalysisError.
 _ANALYSIS_FAILURES = (PsgBuildError, SolverDivergence)
 

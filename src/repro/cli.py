@@ -94,6 +94,26 @@ def _load(path: str) -> ExecutableImage:
         return ExecutableImage.from_bytes(handle.read())
 
 
+def _atomic_write_bytes(path: str, blob: bytes) -> None:
+    """Write a by-product file atomically (tmp + ``os.replace``).
+
+    A writer killed mid-dump leaves the previous file intact instead of
+    a truncated sidecar that silently forces the next run cold (the
+    same idiom as ``service/registry.py:_write_sidecar``).
+    """
+    tmp = f"{path}.tmp.{os.getpid()}"
+    try:
+        with open(tmp, "wb") as handle:
+            handle.write(blob)
+        os.replace(tmp, path)
+    except OSError:
+        try:
+            os.remove(tmp)
+        except OSError:
+            pass
+        raise
+
+
 def _print_routine_summaries(result, names: List[str]) -> None:
     print()
     for name in names:
@@ -189,15 +209,21 @@ def _cmd_analyze_incremental(
         blob = dump_summaries(
             incremental.result, image_fingerprint(image_bytes)
         )
-        with open(args.save_summaries, "wb") as handle:
-            handle.write(blob)
+        try:
+            _atomic_write_bytes(args.save_summaries, blob)
+        except OSError as error:
+            print(
+                f"could not write summaries to {args.save_summaries}: "
+                f"{error}",
+                file=sys.stderr,
+            )
+            return EXIT_CACHE_IO
         print(
             f"wrote summaries to {args.save_summaries}",
             file=sys.stderr if args.json else sys.stdout,
         )
     try:
-        with open(cache_path, "wb") as handle:
-            handle.write(dump_cache(incremental.cache))
+        _atomic_write_bytes(cache_path, dump_cache(incremental.cache))
     except OSError as error:
         print(
             f"could not write cache to {cache_path}: {error}",
@@ -213,11 +239,14 @@ def _cmd_analyze_incremental(
 
 
 def _analysis_config(
-    labeling: Optional[str], solver_core: Optional[str] = None
+    labeling: Optional[str],
+    solver_core: Optional[str] = None,
+    store_dir: Optional[str] = None,
 ) -> Optional[AnalysisConfig]:
-    """Map the ``--labeling`` / ``--solver-core`` choices to an analysis
-    config (None = all defaults, so env-variable resolution applies)."""
-    if labeling is None and solver_core is None:
+    """Map the ``--labeling`` / ``--solver-core`` / ``--store-dir``
+    choices to an analysis config (None = all defaults, so
+    env-variable resolution applies)."""
+    if labeling is None and solver_core is None and store_dir is None:
         return None
     from repro.psg.build import PsgConfig
 
@@ -227,7 +256,12 @@ def _analysis_config(
         psg = PsgConfig(per_edge_labeling=True)
     else:
         psg = PsgConfig(labeling=labeling)
-    return AnalysisConfig(psg=psg, solver_core=solver_core)
+    store = None
+    if store_dir is not None:
+        from repro.interproc.store import SummaryStore
+
+        store = SummaryStore(store_dir)
+    return AnalysisConfig(psg=psg, solver_core=solver_core, store=store)
 
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
@@ -237,7 +271,8 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         with open(args.image, "rb") as handle:
             image_bytes = handle.read()
         session = AnalysisSession.from_image_bytes(
-            image_bytes, _analysis_config(args.labeling, args.solver_core)
+            image_bytes,
+            _analysis_config(args.labeling, args.solver_core, args.store_dir),
         )
     except (OSError, ImageFormatError) as error:
         print(f"cannot load image {args.image}: {error}", file=sys.stderr)
@@ -289,8 +324,15 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         blob = dump_summaries(
             analysis.result, image_fingerprint(image_bytes)
         )
-        with open(args.save_summaries, "wb") as handle:
-            handle.write(blob)
+        try:
+            _atomic_write_bytes(args.save_summaries, blob)
+        except OSError as error:
+            print(
+                f"could not write summaries to {args.save_summaries}: "
+                f"{error}",
+                file=sys.stderr,
+            )
+            return EXIT_CACHE_IO
         # Keep --json stdout parseable, as with the trace note above.
         print(
             f"wrote summaries to {args.save_summaries}",
@@ -358,7 +400,8 @@ def _cmd_query(args: argparse.Namespace) -> int:
         enable_tracing()
     try:
         session = AnalysisSession.from_path(
-            args.image, _analysis_config(args.labeling, args.solver_core)
+            args.image,
+            _analysis_config(args.labeling, args.solver_core, args.store_dir),
         )
     except (OSError, ImageFormatError) as error:
         print(f"cannot load image {args.image}: {error}", file=sys.stderr)
@@ -410,8 +453,7 @@ def _cmd_query(args: argparse.Namespace) -> int:
             print(metrics.render())
             _print_counters(session)
     try:
-        with open(cache_path, "wb") as handle:
-            handle.write(dump_cache(result.cache))
+        _atomic_write_bytes(cache_path, dump_cache(result.cache))
     except OSError as error:
         print(
             f"could not write cache to {cache_path}: {error}",
@@ -562,12 +604,32 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         jobs=args.jobs,
         trace_dir=args.trace_dir,
         trace_sample=args.trace_sample,
+        store_dir=args.store_dir,
     )
     try:
         serve(config)
     except OSError as error:
         print(f"cannot serve: {error}", file=sys.stderr)
         return EXIT_ANALYSIS
+    return EXIT_OK
+
+
+def _cmd_store(args: argparse.Namespace) -> int:
+    from repro.interproc.store import STORE_ENV_VAR, SummaryStore
+
+    root = args.store_dir or os.environ.get(STORE_ENV_VAR)
+    if not root:
+        print(
+            "no store directory: pass --store-dir or set "
+            f"{STORE_ENV_VAR}",
+            file=sys.stderr,
+        )
+        return EXIT_USAGE
+    store = SummaryStore(root, max_bytes=args.max_bytes)
+    if args.action == "stats":
+        print(json.dumps(store.stats(), indent=2, sort_keys=True))
+    else:
+        print(json.dumps(store.gc(), indent=2, sort_keys=True))
     return EXIT_OK
 
 
@@ -648,6 +710,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="cache sidecar path for --incremental (default: IMAGE.sum2)",
     )
     analyze.add_argument(
+        "--store-dir", metavar="DIR", default=None,
+        help=(
+            "cross-image content-addressed summary store: consult it "
+            "before solving (with --incremental) and publish solved "
+            "summaries into it, keyed by deep routine fingerprint so "
+            "linked variants warm each other (default: "
+            "REPRO_SUMMARY_STORE)"
+        ),
+    )
+    analyze.add_argument(
         "--stats", action="store_true",
         help=(
             "print the obs counter block (and, with --incremental, the "
@@ -717,6 +789,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--solver-core", choices=["flat", "object", "fifo"],
         default=None, metavar="CORE",
         help="two-phase solver core (see analyze --solver-core)",
+    )
+    query.add_argument(
+        "--store-dir", metavar="DIR", default=None,
+        help=(
+            "cross-image summary store to read grade-1 triples through "
+            "and publish into (see analyze --store-dir)"
+        ),
     )
     query.add_argument(
         "--stats", action="store_true",
@@ -804,7 +883,37 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace-sample", type=int, default=10, metavar="N",
         help="with --trace-dir, capture 1 in N requests (default 10)",
     )
+    serve.add_argument(
+        "--store-dir", default=None, metavar="DIR",
+        help=(
+            "process-wide cross-image summary store: tenants analyzing "
+            "successive builds of shared libraries warm each other "
+            "(see analyze --store-dir)"
+        ),
+    )
     serve.set_defaults(func=_cmd_serve)
+
+    store = sub.add_parser(
+        "store",
+        help="inspect or garbage-collect a cross-image summary store",
+    )
+    store.add_argument(
+        "action", choices=["gc", "stats"],
+        help=(
+            "gc: sweep stale temp files and evict least-recently-used "
+            "records down to --max-bytes; stats: print record counts "
+            "and byte totals"
+        ),
+    )
+    store.add_argument(
+        "--store-dir", metavar="DIR", default=None,
+        help="store directory (default: REPRO_SUMMARY_STORE)",
+    )
+    store.add_argument(
+        "--max-bytes", type=int, default=None, metavar="N",
+        help="byte budget for gc eviction (default: sweep temps only)",
+    )
+    store.set_defaults(func=_cmd_store)
     return parser
 
 

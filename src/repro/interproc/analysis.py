@@ -100,6 +100,13 @@ class AnalysisConfig:
     #: Results are bit-identical for every choice (see
     #: :mod:`repro.interproc.flatcore`).
     solver_core: Optional[str] = None
+    #: Cross-image summary store (:mod:`repro.interproc.store`):
+    #: ``None`` defers to the ``REPRO_SUMMARY_STORE`` environment
+    #: variable, a :class:`~repro.interproc.store.SummaryStore` uses
+    #: that store, and the string ``"off"`` disables the store even
+    #: when the environment names one.  Results are byte-identical in
+    #: every case.
+    store: Optional[object] = None
 
 
 @dataclass
@@ -239,6 +246,7 @@ def _analyze_program(
         )
 
     result = _assemble_summaries(program, cfgs, saved_restored, psg, phase1, phase2)
+    _publish_to_store(program, config, cfgs, call_graph, result)
     memory = psg_analysis_memory(psg, cfgs, config.memory_model)
     return InterproceduralAnalysis(
         program=program,
@@ -253,6 +261,42 @@ def _analyze_program(
         result=result,
         timings=timer.timings,
         memory_bytes=memory,
+    )
+
+
+def _publish_to_store(
+    program: Program,
+    config: AnalysisConfig,
+    cfgs: Dict[str, ControlFlowGraph],
+    call_graph: CallGraph,
+    result: SummarySet,
+) -> None:
+    """Publish a finished whole-program result to the cross-image
+    summary store, when one is configured.
+
+    The plain serial pipeline only *publishes* — it never consults the
+    store, so its own behavior (and every exact-work assertion built on
+    it) is untouched.  Store-accelerated solves go through the
+    incremental engine (:mod:`repro.interproc.incremental`).
+    """
+    from repro.interproc.store import publish_result, resolve_store
+
+    store = resolve_store(config)
+    if store is None:
+        return
+    from repro.interproc.incremental import routine_fingerprint
+
+    fingerprints = {
+        name: routine_fingerprint(program.routine(name), cfgs[name])
+        for name in cfgs
+    }
+    publish_result(
+        store,
+        call_graph.condensation(),
+        call_graph,
+        fingerprints,
+        config,
+        result,
     )
 
 

@@ -75,6 +75,7 @@ from repro.interproc.incremental import (
     routine_fingerprint,
 )
 from repro.interproc.persist import SummaryCache
+from repro.interproc.store import resolve_store
 from repro.interproc.summaries import SummarySet, RoutineSummary
 from repro.obs.metrics import REGISTRY
 from repro.reporting.metrics import QueryMetrics
@@ -245,6 +246,8 @@ def query_routine(
         metrics=metrics,
         phase1_scope=phase1_cone,
         phase2_scope=phase2_cone,
+        store=resolve_store(config),
+        fingerprints=fingerprints,
     )
     engine.solve()
     REGISTRY.inc("query.solved", metrics.phase2_solved)

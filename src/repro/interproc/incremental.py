@@ -58,6 +58,14 @@ from repro.interproc.persist import SummaryCache, crc64
 from repro.interproc.phase1 import run_phase1
 from repro.interproc.phase2 import run_phase2
 from repro.interproc.savedregs import saved_restored_registers
+from repro.interproc.store import (
+    SummaryStore,
+    config_digest,
+    deep_fingerprints,
+    phase2_component_key,
+    resolve_store,
+    routine_record_key,
+)
 from repro.interproc.summaries import (
     SummarySet,
     CallSiteSummary,
@@ -208,6 +216,17 @@ def _analyze_incremental(
     metrics = IncrementalMetrics(routines_total=program.routine_count)
 
     if cache is None:
+        if resolve_store(config) is not None:
+            # A configured store can warm even a cold image (another
+            # build already published its shared routines), so route
+            # the cold solve through the warm engine with an empty
+            # cache: every component consults the store before
+            # solving, and misses behave exactly like a cold solve.
+            metrics.cold = True
+            empty = SummaryCache(
+                image_fingerprint=0, result=SummarySet(summaries={})
+            )
+            return _warm_run(program, empty, config, image_fingerprint, metrics)
         return _cold_run(program, config, image_fingerprint, metrics)
 
     return _warm_run(program, cache, config, image_fingerprint, metrics)
@@ -247,6 +266,8 @@ def _warm_run(
         cache=cache,
         dirty=dirty,
         metrics=metrics,
+        store=resolve_store(config),
+        fingerprints=fingerprints,
     )
     result = engine.run()
 
@@ -366,6 +387,8 @@ class _WarmEngine:
         metrics: IncrementalMetrics,
         phase1_scope: Optional[Set[int]] = None,
         phase2_scope: Optional[Set[int]] = None,
+        store: Optional[SummaryStore] = None,
+        fingerprints: Optional[Dict[str, int]] = None,
     ) -> None:
         self.program = program
         self.config = config
@@ -413,6 +436,91 @@ class _WarmEngine:
         self.changed2: Set[str] = set()
         self.fresh: Dict[str, RoutineSummary] = {}
         self.orphaned = orphaned_callees(self.cached, cfgs, call_graph, dirty)
+        # Cross-image store state: deep fingerprints are derived lazily
+        # — only runs that actually consult or publish pay for them.
+        self.store = store if fingerprints is not None else None
+        self.fingerprints = fingerprints
+        self._deep_fps: Optional[Dict[str, int]] = None
+        self._context = 0
+
+    # ------------------------------------------------------------------
+    # Cross-image summary store (repro.interproc.store)
+    # ------------------------------------------------------------------
+
+    def _deep(self) -> Dict[str, int]:
+        if self._deep_fps is None:
+            with self.metrics.stage("fingerprint"):
+                self._context = config_digest(self.config)
+                self._deep_fps = deep_fingerprints(
+                    self.fingerprints,
+                    self.condensation,
+                    self.call_graph,
+                    self._context,
+                )
+        return self._deep_fps
+
+    def _store_phase1(self, members: Sequence[str]) -> bool:
+        """Adopt a whole component's phase-1 triples from the store.
+
+        All-or-nothing: a partial hit is treated as a miss so the SCC
+        solves (and republishes) as one unit.  Adopted triples run
+        through the same change cutoff as solved ones — byte-identical
+        downstream behavior is what makes the store safe.
+        """
+        if self.store is None:
+            return False
+        deep = self._deep()
+        loaded: Dict[str, SummaryTriple] = {}
+        with span("store.lookup", grade=1, routines=len(members)):
+            for name in members:
+                triple = self.store.load_triple(deep[name], name)
+                if triple is None:
+                    return False
+                loaded[name] = triple
+        for name, triple in loaded.items():
+            self.triples[name] = triple
+            self.metrics.phase1_store_hits += 1
+            if triple != self.cached_triples.get(name):
+                self.changed1.add(name)
+        return True
+
+    def _component_key(
+        self, members: Sequence[str], member_seeds: Dict[str, int]
+    ) -> Optional[int]:
+        """The phase-2 boundary digest of a component (``None`` with no
+        store configured)."""
+        if self.store is None:
+            return None
+        return phase2_component_key(
+            members,
+            self._deep(),
+            self.call_graph.externally_callable,
+            member_seeds,
+            self._context,
+        )
+
+    def _store_phase2(
+        self, members: Sequence[str], component_key: int
+    ) -> bool:
+        """Adopt a whole component's full summaries from the store
+        (skipping the partial-PSG build, both fixpoints and assembly)."""
+        loaded: Dict[str, RoutineSummary] = {}
+        with span("store.lookup", grade=2, routines=len(members)):
+            for name in members:
+                summary = self.store.load_summary(
+                    routine_record_key(component_key, name), name
+                )
+                if summary is None:
+                    return False
+                loaded[name] = summary
+        for name, summary in loaded.items():
+            self.fresh[name] = summary
+            self.metrics.phase2_store_hits += 1
+            if name not in self.cached or not _same_liveness(
+                summary, self.cached[name]
+            ):
+                self.changed2.add(name)
+        return True
 
     # ------------------------------------------------------------------
     # Lazy inputs
@@ -470,6 +578,8 @@ class _WarmEngine:
                     self.triples[name] = self.cached_triples[name]
                     self.metrics.phase1_reused += 1
                 continue
+            if self._store_phase1(members):
+                continue
             partial = self._partial(index)
             fixed = {
                 node_id: self.triples[callee]
@@ -495,6 +605,12 @@ class _WarmEngine:
                 self.metrics.phase1_solved += 1
                 if triple != self.cached_triples.get(name):
                     self.changed1.add(name)
+            if self.store is not None:
+                deep = self._deep()
+                for name in members:
+                    self.store.store_triple(
+                        deep[name], name, self.triples[name]
+                    )
 
     # ------------------------------------------------------------------
     # Phase 2 — caller-first, seeded exits, change cutoff
@@ -572,11 +688,23 @@ class _WarmEngine:
             if not self._phase2_needed(members, member_set):
                 self.metrics.phase2_reused += len(members)
                 continue
+            # The exit seeds are computable before any partial PSG
+            # exists (callers solved first, so their live-after masks
+            # are final) — which is what lets a store hit skip the
+            # partial build entirely.
+            member_seeds = {
+                name: self._exit_seed(name, member_set) for name in members
+            }
+            component_key = self._component_key(members, member_seeds)
+            if component_key is not None and self._store_phase2(
+                members, component_key
+            ):
+                continue
             partial = self._partial(index)
             self._label_edges(partial)
             seeds: Dict[int, int] = {}
             for name in members:
-                seed = self._exit_seed(name, member_set)
+                seed = member_seeds[name]
                 if not seed:
                     continue
                 for node_id in partial.psg.routines[name].return_exit_nodes():
@@ -606,6 +734,13 @@ class _WarmEngine:
                         or not _same_liveness(summary, self.cached[name])
                     ):
                         self.changed2.add(name)
+            if component_key is not None:
+                for name in members:
+                    self.store.store_summary(
+                        routine_record_key(component_key, name),
+                        name,
+                        self.fresh[name],
+                    )
 
     def _assemble(
         self, partial: PartialPsg, may_use: List[int], name: str

@@ -1010,6 +1010,7 @@ def analyze_parallel(
     result = SummarySet(
         summaries={name: engine.fresh[name] for name in cfgs}
     )
+    _publish_parallel(program, config, cfgs, call_graph, condensation, result)
     return ParallelAnalysis(
         program=program,
         config=config,
@@ -1019,6 +1020,32 @@ def analyze_parallel(
         plan=plan,
         result=result,
         metrics=metrics,
+    )
+
+
+def _publish_parallel(
+    program, config, cfgs, call_graph, condensation, result
+) -> None:
+    """Publish a merged parallel result to the cross-image summary
+    store, when one is configured.
+
+    Publish-only, from the parent after the merge: shard workers never
+    consult the store, so parallel results stay trivially byte-identical
+    with the store on, off, or poisoned at any worker count.
+    """
+    from repro.interproc.store import publish_result, resolve_store
+
+    store = resolve_store(config)
+    if store is None:
+        return
+    from repro.interproc.incremental import routine_fingerprint
+
+    fingerprints = {
+        name: routine_fingerprint(program.routine(name), cfgs[name])
+        for name in cfgs
+    }
+    publish_result(
+        store, condensation, call_graph, fingerprints, config, result
     )
 
 
@@ -1217,6 +1244,7 @@ def analyze_incremental_parallel(
         name: engine.fresh.get(name) or cached[name] for name in cfgs
     }
     result = SummarySet(summaries=summaries)
+    _publish_parallel(program, config, cfgs, call_graph, condensation, result)
 
     solved1 = {
         name for shard in phase1_shards

@@ -36,6 +36,10 @@ Counter inventory (see ``docs/observability.md`` for semantics):
                                  fingerprint verdicts on a run
 ``cache.load`` / ``cache.write`` (+ ``_bytes``)   SUM2 cache I/O
 ``sidecar.load`` / ``sidecar.write`` (+ ``_bytes``) SUM1 sidecar I/O
+``store.hit`` / ``store.miss``   cross-image summary-store record
+                                 lookups (a corrupt record is a miss)
+``store.write`` / ``store.bytes`` records published and their sizes
+``store.evict``                  records removed by a store GC sweep
 ``shards.solved{phase=}`` / ``shards.reused``     parallel scheduling
 ``query.requests``               demand-driven queries answered
 ``query.cone_routines{phase=}``  routines in the query's phase-1 /
@@ -100,6 +104,9 @@ SEEDED_KEYS: Tuple[MetricKey, ...] = (
     ("solver.revisits", (("phase", "phase1"),)),
     ("solver.revisits", (("phase", "phase2"),)),
     ("solver.skipped_inqueue", ()),
+    ("store.hit", ()),
+    ("store.miss", ()),
+    ("store.write", ()),
 )
 
 

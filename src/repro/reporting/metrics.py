@@ -124,6 +124,11 @@ class IncrementalMetrics:
     phase2_sccs_solved: int = 0
     phase1_iterations: int = 0
     phase2_iterations: int = 0
+    #: Routines whose phase-N answer was adopted from the cross-image
+    #: summary store (:mod:`repro.interproc.store`) instead of being
+    #: solved or reused from the per-image cache.
+    phase1_store_hits: int = 0
+    phase2_store_hits: int = 0
     #: stage name -> wall seconds (keys from :data:`INCREMENTAL_STAGES`).
     seconds: Dict[str, float] = field(default_factory=dict)
 
@@ -158,6 +163,8 @@ class IncrementalMetrics:
             "phase2_sccs_solved": self.phase2_sccs_solved,
             "phase1_iterations": self.phase1_iterations,
             "phase2_iterations": self.phase2_iterations,
+            "phase1_store_hits": self.phase1_store_hits,
+            "phase2_store_hits": self.phase2_store_hits,
             "seconds": dict(self.seconds),
             "total_seconds": self.total_seconds,
         }
@@ -185,6 +192,12 @@ class IncrementalMetrics:
             f"{self.phase2_iterations} iterations)",
             f"total time:         {self.total_seconds:.3f} s",
         ]
+        if self.phase1_store_hits or self.phase2_store_hits:
+            lines.insert(
+                -1,
+                f"store hits:         phase1 {self.phase1_store_hits}, "
+                f"phase2 {self.phase2_store_hits}",
+            )
         for name in INCREMENTAL_STAGES:
             if name in self.seconds:
                 lines.append(f"  {name:<16}{self.seconds[name]:.3f} s")

@@ -128,6 +128,12 @@ class ServiceConfig:
     #: span JSON to ``<trace_dir>/<run_id>.json``.
     trace_dir: Optional[str] = None
     trace_sample: int = 10
+    #: Process-wide cross-image summary store
+    #: (:mod:`repro.interproc.store`): every tenant's solves read
+    #: through and publish into it, so successive builds sharing
+    #: routines warm each other — while SUM2 sidecars keep carrying the
+    #: image-specific phase-2 state for edit requests.
+    store_dir: Optional[str] = None
 
 
 class _UnixHTTPServer(ThreadingHTTPServer):
@@ -158,8 +164,16 @@ class AnalysisDaemon:
     def __init__(self, config: Optional[ServiceConfig] = None) -> None:
         self.config = config or ServiceConfig()
         analysis_config = None
-        if self.config.jobs is not None:
-            analysis_config = AnalysisConfig(jobs=self.config.jobs)
+        if self.config.jobs is not None or self.config.store_dir is not None:
+            store = None
+            if self.config.store_dir is not None:
+                from repro.interproc.store import SummaryStore
+
+                store = SummaryStore(self.config.store_dir)
+            analysis_config = AnalysisConfig(
+                jobs=self.config.jobs if self.config.jobs is not None else 1,
+                store=store,
+            )
         self.registry = SessionRegistry(
             max_bytes=self.config.max_bytes,
             cache_dir=self.config.cache_dir,
@@ -307,7 +321,15 @@ class AnalysisDaemon:
                 REGISTRY.inc("service.result.warm")
                 return entry.payload, True
             with _staged("analyze", "service.analyze", tenant=tenant):
-                entry.session.analyze(jobs=jobs)
+                if self.config.store_dir is not None:
+                    # With a process-wide store, cold solves go through
+                    # the incremental engine so they *consult* the
+                    # store (a plain analyze only publishes); the
+                    # refreshed cache also seeds future edit requests.
+                    cold = entry.session.analyze_incremental(jobs=jobs)
+                    self.registry.note_cache(entry, cold.cache)
+                else:
+                    entry.session.analyze(jobs=jobs)
                 # Retained with summaries embedded; the handler strips
                 # them unless the request asked for them.
                 entry.payload = entry.session.to_json(include_summaries=True)

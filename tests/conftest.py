@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.program.asm import assemble
@@ -9,6 +11,19 @@ from repro.program.disasm import disassemble_image
 from repro.program.model import Program
 from repro.workloads.generator import GeneratorConfig, generate_benchmark
 from repro.workloads.micro import figure2_program, figure4_program
+
+
+@pytest.fixture(autouse=True)
+def _isolated_summary_store(tmp_path, monkeypatch):
+    """Repoint REPRO_SUMMARY_STORE at a fresh per-test directory.
+
+    The CI tier-1 variant runs the whole suite with a shared summary
+    store enabled.  Tests assert exact solve counts, so each test gets
+    its own empty store — the store code paths still run everywhere,
+    but no test can warm another.  A no-op when the variable is unset.
+    """
+    if os.environ.get("REPRO_SUMMARY_STORE"):
+        monkeypatch.setenv("REPRO_SUMMARY_STORE", str(tmp_path / "sumstore"))
 
 
 #: A two-routine program exercising calls, liveness and OUTPUT.

@@ -523,3 +523,98 @@ class TestIncrementalParallel:
         out = capsys.readouterr().out
         assert "mode:               warm" in out
         assert "pool utilization:" in out
+
+
+class TestAtomicByproductWrites:
+    """A writer that dies mid-dump must leave the previous sidecar
+    intact — never a truncated file that silently forces the next run
+    cold (or worse, fails to parse)."""
+
+    def _cold_cache(self, image_path, tmp_path):
+        cache = str(tmp_path / "prog.sum2")
+        assert main(
+            ["analyze", image_path, "--incremental", "--cache", cache]
+        ) == 0
+        with open(cache, "rb") as handle:
+            return cache, handle.read()
+
+    def test_failed_replace_keeps_previous_cache(
+        self, image_path, tmp_path, monkeypatch, capsys
+    ):
+        import os
+
+        cache, good = self._cold_cache(image_path, tmp_path)
+        real_replace = os.replace
+
+        def failing_replace(src, dst, *args, **kwargs):
+            if str(dst) == cache:
+                raise OSError("simulated crash mid-dump")
+            return real_replace(src, dst, *args, **kwargs)
+
+        monkeypatch.setattr("repro.cli.os.replace", failing_replace)
+        code = main(["analyze", image_path, "--incremental", "--cache", cache])
+        assert code == 5  # EXIT_CACHE_IO
+        assert "could not write cache" in capsys.readouterr().err
+        with open(cache, "rb") as handle:
+            assert handle.read() == good
+        # The aborted write cleaned up its temp file.
+        assert [p.name for p in tmp_path.iterdir() if ".tmp." in p.name] == []
+
+    def test_sigkill_mid_dump_keeps_previous_cache(self, image_path, tmp_path):
+        import os
+        import subprocess
+        import sys
+
+        cache, good = self._cold_cache(image_path, tmp_path)
+        # Re-run the CLI in a child that SIGKILLs itself at the rename:
+        # the temp file is fully written, the dump genuinely dies, and
+        # the published sidecar must still be the previous bytes.
+        script = (
+            "import os, signal, sys\n"
+            "from repro.cli import main\n"
+            "real = os.replace\n"
+            "def die(src, dst):\n"
+            "    if str(dst) == sys.argv[2]:\n"
+            "        os.kill(os.getpid(), signal.SIGKILL)\n"
+            "    return real(src, dst)\n"
+            "os.replace = die\n"
+            "sys.exit(main(['analyze', sys.argv[1], '--incremental',\n"
+            "               '--cache', sys.argv[2]]))\n"
+        )
+        env = dict(os.environ, PYTHONPATH="src")
+        proc = subprocess.run(
+            [sys.executable, "-c", script, image_path, cache],
+            env=env, cwd=os.path.dirname(os.path.dirname(__file__)),
+            capture_output=True,
+        )
+        assert proc.returncode == -9
+        with open(cache, "rb") as handle:
+            assert handle.read() == good
+        # The orphaned temp does not confuse the next warm run.
+        assert main(
+            ["analyze", image_path, "--incremental", "--cache", cache]
+        ) == 0
+
+    def test_failed_summaries_write_keeps_previous_file(
+        self, image_path, tmp_path, monkeypatch, capsys
+    ):
+        import os
+
+        sidecar = str(tmp_path / "prog.sum")
+        assert main(
+            ["analyze", image_path, "--save-summaries", sidecar]
+        ) == 0
+        with open(sidecar, "rb") as handle:
+            good = handle.read()
+        real_replace = os.replace
+
+        def failing_replace(src, dst, *args, **kwargs):
+            if str(dst) == sidecar:
+                raise OSError("simulated crash mid-dump")
+            return real_replace(src, dst, *args, **kwargs)
+
+        monkeypatch.setattr("repro.cli.os.replace", failing_replace)
+        code = main(["analyze", image_path, "--save-summaries", sidecar])
+        assert code == 5
+        with open(sidecar, "rb") as handle:
+            assert handle.read() == good

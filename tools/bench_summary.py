@@ -101,8 +101,8 @@ def main(argv: List[str] | None = None) -> int:
         metavar="DIR", help="directory of per-table result JSON files",
     )
     parser.add_argument(
-        "--pr", type=int, default=9, metavar="N",
-        help="PR number recorded in the summary (default: 9)",
+        "--pr", type=int, default=10, metavar="N",
+        help="PR number recorded in the summary (default: 10)",
     )
     parser.add_argument(
         "--out", type=Path, default=None, metavar="FILE",
